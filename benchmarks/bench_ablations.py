@@ -1,0 +1,72 @@
+"""Ablation benchmarks A1-A4 — the design-knob sweeps DESIGN.md calls out.
+
+These always run at the tiny preset (each point trains a full ensemble and
+mounts N+1 attacks, so a sweep at the small preset would take an hour).
+"""
+
+import pytest
+
+from repro.experiments import (
+    brute_force_cost_table,
+    sweep_lambda,
+    sweep_num_active,
+    sweep_num_nets,
+    sweep_sigma,
+)
+
+
+@pytest.mark.table
+def test_ablation_num_nets(benchmark, bench_seed):
+    """A1: defense quality vs ensemble size N."""
+    result = benchmark.pedantic(sweep_num_nets,
+                                kwargs={"values": (2, 4, 6), "preset_name": "tiny",
+                                        "seed": bench_seed},
+                                rounds=1, iterations=1)
+    print("\nAblation A1 - ensemble size")
+    print(result.to_markdown())
+    assert len(result.points) == 3
+
+
+@pytest.mark.table
+def test_ablation_num_active(benchmark, bench_seed):
+    """A2a: selector size P at fixed N."""
+    result = benchmark.pedantic(sweep_num_active,
+                                kwargs={"values": (1, 2, 3), "preset_name": "tiny",
+                                        "seed": bench_seed},
+                                rounds=1, iterations=1)
+    print("\nAblation A2a - selector size")
+    print(result.to_markdown())
+    assert [p.label for p in result.points] == ["P=1", "P=2", "P=3"]
+
+
+@pytest.mark.table
+def test_ablation_sigma(benchmark, bench_seed):
+    """A2b: diversification noise scale."""
+    result = benchmark.pedantic(sweep_sigma,
+                                kwargs={"values": (0.0, 0.1, 0.3), "preset_name": "tiny",
+                                        "seed": bench_seed},
+                                rounds=1, iterations=1)
+    print("\nAblation A2b - noise scale")
+    print(result.to_markdown())
+    assert len(result.points) == 3
+
+
+@pytest.mark.table
+def test_ablation_lambda(benchmark, bench_seed):
+    """A3: the Eq. 3 regulariser weight (favored-net effect)."""
+    result = benchmark.pedantic(sweep_lambda,
+                                kwargs={"values": (0.0, 1.0, 10.0), "preset_name": "tiny",
+                                        "seed": bench_seed},
+                                rounds=1, iterations=1)
+    print("\nAblation A3 - regulariser weight")
+    print(result.to_markdown())
+    assert len(result.points) == 3
+
+
+def test_ablation_brute_force_cost(benchmark):
+    """A4: the O(2^N) brute-force claim of Section III-D."""
+    result = benchmark(brute_force_cost_table, (4, 6, 8, 10, 12, 16))
+    print("\nAblation A4 - brute-force search space")
+    print(result.to_markdown())
+    n10 = next(row for row in result.rows if row[0] == 10)
+    assert n10[1] == 1023

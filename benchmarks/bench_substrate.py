@@ -1,0 +1,94 @@
+"""S1 — substrate micro-benchmarks (not in the paper).
+
+Real pytest-benchmark timings of the NumPy substrate's hot paths: they put
+the experiment wall-clock in context and guard against performance
+regressions in the autograd engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+from repro.models import ResNetConfig, build_decoder, resnet10
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_layer():
+    return nn.Conv2d(16, 32, 3, padding=1, rng=new_rng(0))
+
+
+@pytest.fixture(scope="module")
+def conv_input():
+    return Tensor(rng.random((32, 16, 16, 16)).astype(np.float32))
+
+
+def test_conv2d_forward(benchmark, conv_layer, conv_input):
+    with no_grad():
+        benchmark(conv_layer, conv_input)
+
+
+def test_conv2d_forward_backward(benchmark, conv_layer):
+    def step():
+        x = Tensor(rng.random((8, 16, 16, 16)).astype(np.float32), requires_grad=True)
+        out = conv_layer(x)
+        (out * out).mean().backward()
+        conv_layer.zero_grad()
+
+    benchmark(step)
+
+
+def test_resnet10_inference(benchmark):
+    model = resnet10(num_classes=10, width=16).eval()
+    images = Tensor(rng.random((16, 3, 16, 16)).astype(np.float32))
+
+    def infer():
+        with no_grad():
+            return model(images)
+
+    benchmark(infer)
+
+
+def test_resnet10_training_step(benchmark):
+    model = resnet10(num_classes=10, width=16)
+    opt = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    images = Tensor(rng.random((16, 3, 16, 16)).astype(np.float32))
+    labels = rng.integers(0, 10, 16)
+
+    def step():
+        opt.zero_grad()
+        loss = F.cross_entropy(model(images), labels)
+        loss.backward()
+        opt.step()
+
+    benchmark(step)
+
+
+def test_decoder_inference(benchmark):
+    decoder = build_decoder((16, 8, 8), (3, 16, 16), rng=new_rng(0)).eval()
+    features = Tensor(rng.random((16, 16, 8, 8)).astype(np.float32))
+
+    def infer():
+        with no_grad():
+            return decoder(features)
+
+    benchmark(infer)
+
+
+def test_ssim_batch(benchmark):
+    from repro.metrics import batch_ssim
+    a = rng.random((16, 3, 32, 32))
+    b = rng.random((16, 3, 32, 32))
+    benchmark(batch_ssim, a, b)
+
+
+def test_flop_counting_overhead(benchmark):
+    """Profiling must not measurably slow the forward path."""
+    from repro.nn.profiling import count_forward_flops
+    model = resnet10(num_classes=10, width=16).eval()
+    images = rng.random((4, 3, 16, 16)).astype(np.float32)
+    benchmark(count_forward_flops, model, images)

@@ -1,0 +1,35 @@
+"""Benchmark E3 — regenerates Table III (latency of Standard CI / Ensembler /
+STAMP on the paper's ResNet-18 batch-128 workload).
+
+The latency model itself is cheap, so this also serves as a real
+pytest-benchmark measurement of the FLOP-profiling + modelling path.
+"""
+
+import pytest
+
+from repro.experiments import run_table3
+
+
+@pytest.mark.table
+def test_table3(benchmark):
+    result = benchmark(run_table3)
+    print("\nTable III (seconds, ResNet-18, batch 128, Pi <-> A6000 model)")
+    print(result.to_markdown())
+    print(f"Ensembler overhead: {result.overhead_fraction * 100:.1f}% (paper: 4.8%)")
+
+    # Shape assertions pinned to the paper's measurements.
+    assert result.standard.total_s == pytest.approx(3.94, rel=0.05)
+    assert result.ensembler.total_s == pytest.approx(4.13, rel=0.05)
+    assert result.stamp.total_s == pytest.approx(309.7, rel=0.05)
+    assert 0.0 < result.overhead_fraction < 0.10
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("num_nets", [1, 5, 10, 20])
+def test_table3_scaling_in_n(benchmark, num_nets):
+    """Ablation over N: server/communication overhead growth (Section III-D)."""
+    result = benchmark.pedantic(run_table3, kwargs={"num_nets": num_nets},
+                                rounds=1, iterations=1)
+    print(f"\nN={num_nets}: ensembler total {result.ensembler.total_s:.2f}s "
+          f"(+{result.overhead_fraction * 100:.1f}%)")
+    assert result.ensembler.total_s >= result.standard.total_s

@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_PRESET`` selects the experiment scale for the table benchmarks
+(default ``small`` — the EXPERIMENTS.md scale; set ``tiny`` for a quick smoke
+run).  Each table benchmark prints the regenerated table so the harness
+output can be compared with the paper directly (run with ``-s`` to see it
+inline, or read the captured output).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: regenerates a table of the paper")
+
+
+@pytest.fixture(scope="session")
+def bench_preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))

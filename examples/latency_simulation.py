@@ -1,0 +1,55 @@
+"""Latency study: what does Ensembler cost at inference time? (Table III)
+
+Reproduces the paper's latency table on the calibrated Raspberry-Pi /
+A6000 / wired-LAN cost model, then explores the two knobs the paper
+discusses in Section III-D:
+
+* ensemble size N — server compute is parallel, so overhead grows slowly;
+* multiparty deployment — spreading the N nets over independent servers
+  removes even the serial fraction, at unchanged communication cost.
+
+Run:  python examples/latency_simulation.py
+"""
+
+from repro.experiments import run_table3
+from repro.latency import LatencyModel, StampModel, workload_from_model
+from repro.models import ResNetConfig
+
+
+def main() -> None:
+    print("== Table III (ResNet-18, batch 128) ==")
+    result = run_table3()
+    print(result.to_markdown())
+    print(f"Ensembler overhead: {result.overhead_fraction * 100:.1f}% "
+          f"(paper reports 4.8%)")
+    print(f"STAMP vs standard CI: {result.stamp.total_s / result.standard.total_s:.0f}x")
+
+    print("\n== overhead vs ensemble size N ==")
+    workload = workload_from_model(ResNetConfig(num_classes=10), 32, 128)
+    model = LatencyModel()
+    standard = model.standard_ci(workload)
+    print(f"{'N':>4} {'total (s)':>10} {'overhead':>9}")
+    for num_nets in (1, 2, 5, 10, 20, 50):
+        row = model.ensembler(workload, num_nets)
+        overhead = (row.total_s - standard.total_s) / standard.total_s
+        print(f"{num_nets:>4} {row.total_s:>10.2f} {overhead * 100:>8.1f}%")
+
+    print("\n== multiparty deployment (one server per net) ==")
+    # With fully independent servers the Amdahl serial fraction vanishes.
+    multiparty = LatencyModel(serial_fraction=0.0)
+    row = multiparty.ensembler(workload, 10)
+    print(f"10 servers: total {row.total_s:.2f}s "
+          f"(single-server: {model.ensembler(workload, 10).total_s:.2f}s)")
+
+    print("\n== sensitivity: what if the link were 10x faster? ==")
+    from repro.latency import NetworkModel, RASPBERRY_PI, A6000
+    fast = LatencyModel(network=NetworkModel("fast-lan", 295.0, 1700.0, 0.001))
+    std_fast = fast.standard_ci(workload)
+    ens_fast = fast.ensembler(workload, 10)
+    print(f"standard {std_fast.total_s:.2f}s, ensembler {ens_fast.total_s:.2f}s "
+          f"(+{(ens_fast.total_s / std_fast.total_s - 1) * 100:.1f}%) — "
+          "communication stops dominating, as Section IV-D anticipates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Inspect *why* Ensembler works: head-similarity diagnostics.
+
+Section III-C claims two properties that the defense rests on:
+
+1. the N stage-1 heads end up mutually dissimilar, because each is trained
+   against its own quasi-orthogonal fixed noise map;
+2. the stage-3 head is dissimilar from every stage-1 head, enforced by the
+   Eq. 3 cosine-similarity regulariser.
+
+This example trains a small ensemble, prints the full head-similarity matrix
+and the stage-3-vs-stage-1 profile, and contrasts a regularised run with a
+λ=0 ablation — making the "favored net" effect of Section IV-C visible.
+
+Run:  python examples/mechanism_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import EnsemblerConfig, EnsemblerTrainer, TrainingConfig, mechanism_report
+from repro.data import cifar10_like
+from repro.models import ResNetConfig
+from repro.utils.logging import enable_console_logging
+from repro.utils.rng import new_rng
+
+
+def print_matrix(matrix: np.ndarray) -> None:
+    for row in matrix:
+        print("   " + " ".join(f"{value:+.2f}" for value in row))
+
+
+def main() -> None:
+    enable_console_logging()
+    bundle = cifar10_like(size=16, train_per_class=24, test_per_class=8, num_classes=8)
+    model_config = ResNetConfig(num_classes=8, stem_channels=8, stage_channels=(8, 16),
+                                blocks_per_stage=(1, 1), use_maxpool=True)
+    train = TrainingConfig(epochs=4, batch_size=32, lr=0.05)
+    probe = bundle.test.images[:32]
+
+    for lam in (1.0, 0.0):
+        config = EnsemblerConfig(num_nets=5, num_active=3, sigma=0.1, lambda_reg=lam,
+                                 stage1=train,
+                                 stage3=TrainingConfig(epochs=8, batch_size=32, lr=0.05))
+        trainer = EnsemblerTrainer(model_config, 16, config, rng=new_rng(0))
+        result = trainer.train(bundle.train)
+        report = mechanism_report(result, probe)
+
+        print(f"\n=== lambda = {lam} ===")
+        print("stage-1 pairwise head similarity (standardised cosine):")
+        print_matrix(report.stage1_pairwise)
+        print("stage-3 head vs each stage-1 head "
+              f"(selected = {report.selected_indices}):")
+        values = " ".join(f"{v:+.2f}" for v in report.stage3_vs_stage1)
+        print(f"   {values}")
+        print(report.summary())
+        if lam == 0.0:
+            favored = int(np.abs(report.stage3_vs_stage1).argmax())
+            print(f"without the regulariser the head leans on net {favored} — "
+                  "the 'favored net' a single-net attack exploits (Section IV-C)")
+
+
+if __name__ == "__main__":
+    main()

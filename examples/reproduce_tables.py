@@ -1,0 +1,55 @@
+"""Regenerate the paper's tables from the command line.
+
+Examples:
+    python examples/reproduce_tables.py --table 3
+    python examples/reproduce_tables.py --table 1 --preset tiny --datasets cifar10
+    python examples/reproduce_tables.py --table 2 --preset small --out results/
+
+Table III runs in seconds; Tables I and II train every defense and mount
+every attack, so expect minutes at the ``small`` preset (the EXPERIMENTS.md
+scale) and use ``--preset tiny`` for a fast smoke run.
+"""
+
+import argparse
+import pathlib
+
+from repro.experiments import run_table1, run_table2, run_table3
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--table", type=int, choices=(1, 2, 3), required=True,
+                        help="which table of the paper to regenerate")
+    parser.add_argument("--preset", default="small", choices=("tiny", "small", "paper"),
+                        help="experiment scale (see DESIGN.md section 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="Table I only: subset of {cifar10, cifar100, celeba}")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to also write the markdown into")
+    args = parser.parse_args()
+
+    enable_console_logging()
+    if args.table == 1:
+        datasets = tuple(args.datasets) if args.datasets else None
+        result = run_table1(args.preset, seed=args.seed, datasets=datasets)
+        markdown = result.to_markdown()
+    elif args.table == 2:
+        result = run_table2(args.preset, seed=args.seed)
+        markdown = result.to_markdown()
+    else:
+        result = run_table3()
+        markdown = result.to_markdown()
+
+    print(markdown)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"table{args.table}_{args.preset}_seed{args.seed}.md"
+        path.write_text(markdown + "\n")
+        print(f"\nwritten to {path}")
+
+
+if __name__ == "__main__":
+    main()

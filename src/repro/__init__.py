@@ -1,0 +1,30 @@
+"""Reproduction of *Ensembler: Protect Collaborative Inference Privacy from
+Model Inversion Attack via Selective Ensemble* (DAC 2025).
+
+Subpackages
+-----------
+``repro.nn``
+    Pure-NumPy autograd + neural-network substrate (replaces PyTorch).
+``repro.models``
+    ResNet-18 (paper scale and scaled variants), split models, decoders.
+``repro.data``
+    Procedural CIFAR-10/CIFAR-100/CelebA-HQ-like datasets and loaders.
+``repro.metrics``
+    SSIM, PSNR, accuracy — the paper's evaluation metrics.
+``repro.ci``
+    Collaborative-inference client/server protocol with byte accounting.
+``repro.core``
+    The Ensembler defense: selector, noise layers, three-stage training.
+``repro.attacks``
+    Query-free model-inversion attacks (single-net, adaptive, brute-force).
+``repro.defenses``
+    Baselines: no defense, Single, Shredder, dropout defenses.
+``repro.latency``
+    Analytic latency model reproducing Table III.
+``repro.experiments``
+    End-to-end runners regenerating every table of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Model-inversion attacks mounted by the semi-honest server."""
+
+from repro.attacks.brute_force import (
+    BruteForceOutcome,
+    brute_force_attack,
+    expected_attack_work,
+)
+from repro.attacks.evaluation import (
+    ReconstructionMetrics,
+    best_single_net,
+    evaluate_reconstruction,
+    run_adaptive_attack,
+    run_single_net_attacks,
+)
+from repro.attacks.mia import AttackArtifacts, AttackConfig, InversionAttack
+
+__all__ = [
+    "AttackArtifacts",
+    "AttackConfig",
+    "BruteForceOutcome",
+    "InversionAttack",
+    "ReconstructionMetrics",
+    "best_single_net",
+    "brute_force_attack",
+    "evaluate_reconstruction",
+    "expected_attack_work",
+    "run_adaptive_attack",
+    "run_single_net_attacks",
+]

@@ -1,0 +1,68 @@
+"""Brute-force subset attack and its cost model (Section III-D).
+
+Because an arbitrary reconstruction against *some* subset of the ensemble
+looks successful to the attacker (the shadow converges), the server cannot
+tell which subset is the client's secret: to be sure it must enumerate them —
+``2^N - 1`` subsets, or ``C(N, P)`` if P leaks.  This module implements both
+the enumeration (practical only for small N; used to validate the claim) and
+the cost estimator used in the §III-D discussion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.attacks.evaluation import ReconstructionMetrics, evaluate_reconstruction
+from repro.attacks.mia import InversionAttack
+from repro.core.selector import brute_force_search_space, enumerate_subsets
+from repro.defenses.base import FittedDefense
+
+
+@dataclasses.dataclass(frozen=True)
+class BruteForceOutcome:
+    """Result of a full subset enumeration."""
+
+    per_subset: tuple[tuple[tuple[int, ...], ReconstructionMetrics], ...]
+    search_space: int
+    subsets_tried: int
+
+    def best(self, metric: str = "ssim") -> tuple[tuple[int, ...], ReconstructionMetrics]:
+        """The subset whose reconstruction looks strongest to the attacker."""
+        return max(self.per_subset, key=lambda item: getattr(item[1], metric))
+
+
+def brute_force_attack(
+    defense: FittedDefense,
+    attack: InversionAttack,
+    probe_images: np.ndarray,
+    known_p: int | None = None,
+    max_subsets: int | None = None,
+) -> BruteForceOutcome:
+    """Enumerate candidate selector subsets and attack each one.
+
+    ``known_p`` restricts to subsets of the leaked size; ``max_subsets``
+    truncates the enumeration (for tests), with the truncation reflected in
+    ``subsets_tried`` versus ``search_space``.
+    """
+    num_nets = len(defense.bodies)
+    space = brute_force_search_space(num_nets, known_p)
+    results = []
+    for count, subset in enumerate(enumerate_subsets(num_nets, known_p)):
+        if max_subsets is not None and count >= max_subsets:
+            break
+        artifacts = attack.attack_subset(list(defense.bodies), subset)
+        results.append((subset, evaluate_reconstruction(defense, artifacts, probe_images)))
+    return BruteForceOutcome(tuple(results), space, len(results))
+
+
+def expected_attack_work(num_nets: int, known_p: int | None = None,
+                         single_attack_seconds: float = 1.0) -> float:
+    """Expected wall-clock to enumerate the subset space (Section III-D).
+
+    With no oracle for success the attacker must try every candidate, so the
+    expectation is half the space; we report the full sweep as the paper's
+    ``O(2^N)`` bound.
+    """
+    return brute_force_search_space(num_nets, known_p) * single_attack_seconds

@@ -1,0 +1,98 @@
+"""Attack evaluation: reconstruction quality against a fitted defense.
+
+Produces the SSIM / PSNR numbers of Tables I and II.  For the single-net
+attack the paper reports the *strongest* reconstruction over the N server
+nets — separately for SSIM and PSNR ("Ours - SSIM" / "Ours - PSNR" rows);
+``best_single_net`` implements exactly that reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.attacks.mia import AttackArtifacts, InversionAttack
+from repro.defenses.base import FittedDefense
+from repro.metrics import batch_psnr, batch_ssim
+
+
+@dataclasses.dataclass(frozen=True)
+class ReconstructionMetrics:
+    """Reconstruction quality of one attack against one defense."""
+
+    attack_name: str
+    ssim: float
+    psnr: float
+
+    def stronger_than(self, other: "ReconstructionMetrics") -> bool:
+        """Strictly better reconstruction on both metrics."""
+        return self.ssim > other.ssim and self.psnr > other.psnr
+
+
+def evaluate_reconstruction(
+    defense: FittedDefense,
+    artifacts: AttackArtifacts,
+    probe_images: np.ndarray,
+) -> ReconstructionMetrics:
+    """Reconstruct the victim's probe inputs from intercepted features.
+
+    The attacker sees exactly what crosses the wire — ``defense.intermediate``
+    (head output plus the client's secret noise) — and inverts it.
+    """
+    intercepted = defense.intermediate(probe_images)
+    reconstructions = artifacts.reconstruct(intercepted)
+    return ReconstructionMetrics(
+        attack_name=artifacts.name,
+        ssim=batch_ssim(probe_images.astype(np.float64), reconstructions.astype(np.float64)),
+        psnr=batch_psnr(probe_images.astype(np.float64), reconstructions.astype(np.float64)),
+    )
+
+
+def observe_victim_traffic(
+    defense: FittedDefense,
+    attack: InversionAttack,
+    traffic_images: np.ndarray,
+) -> None:
+    """Let the server record the features the victim uploads while being
+    served — the marginal statistics the moment-matching shadow loss uses."""
+    attack.observe_traffic(defense.intermediate(traffic_images))
+
+
+def run_single_net_attacks(
+    defense: FittedDefense,
+    attack: InversionAttack,
+    probe_images: np.ndarray,
+    traffic_images: np.ndarray | None = None,
+) -> list[ReconstructionMetrics]:
+    """Mount the Proposition-1 attack against every server body separately."""
+    if traffic_images is not None:
+        observe_victim_traffic(defense, attack, traffic_images)
+    results = []
+    for index, body in enumerate(defense.bodies):
+        artifacts = attack.attack_single(body, index=index)
+        results.append(evaluate_reconstruction(defense, artifacts, probe_images))
+    return results
+
+
+def run_adaptive_attack(
+    defense: FittedDefense,
+    attack: InversionAttack,
+    probe_images: np.ndarray,
+    traffic_images: np.ndarray | None = None,
+) -> ReconstructionMetrics:
+    """Mount the Proposition-2 attack using all deployed bodies."""
+    if traffic_images is not None:
+        observe_victim_traffic(defense, attack, traffic_images)
+    artifacts = attack.attack_adaptive(list(defense.bodies))
+    return evaluate_reconstruction(defense, artifacts, probe_images)
+
+
+def best_single_net(results: list[ReconstructionMetrics],
+                    metric: str) -> ReconstructionMetrics:
+    """The paper's reduction: strongest attack (worst defense) per metric."""
+    if not results:
+        raise ValueError("no attack results to reduce")
+    if metric not in ("ssim", "psnr"):
+        raise ValueError("metric must be 'ssim' or 'psnr'")
+    return max(results, key=lambda r: getattr(r, metric))

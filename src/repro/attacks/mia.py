@@ -1,0 +1,305 @@
+"""Query-free model-inversion attack (He et al., 2019; Sections II-B, III-B).
+
+The semi-honest server knows: the architecture, its own body weights
+``M_s`` (or all N bodies ``{M_s^i}`` under Ensembler), and a dataset from the
+same distribution as the private training data.  It cannot query the client.
+The attack has two phases:
+
+1. **Shadow training** — fit a shadow head ``~M_c,h`` (three convolutions per
+   Section IV-A) and shadow tail ``~M_c,t`` so the pipeline through the
+   *frozen, known* server bodies classifies the auxiliary data well.  If the
+   shadow head converges near the client's head, its inverse transfers.
+2. **Decoder training** — fit ``~M_c,h^{-1}`` to invert the shadow head by
+   reconstruction on auxiliary data, then apply it to intercepted features.
+
+Two constructions from Section III-B are provided: ``attack_single`` trains
+the shadow against one chosen body; ``attack_adaptive`` trains against all N
+bodies through a selector-shaped activation (uniform 1/N concatenation, since
+the true selection is secret).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from repro import nn
+from repro.core.training import TrainingConfig, recalibrate_batchnorm, run_sgd
+from repro.data.datasets import ArrayDataset
+from repro.models.decoder import build_decoder
+from repro.models.resnet import ResNetConfig
+from repro.models.shadow import build_shadow_head, build_shadow_tail
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.utils.config import FrozenConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng, spawn_rng
+
+logger = get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackConfig(FrozenConfig):
+    """Budgets for the two attack phases.
+
+    ``moment_weight`` scales the traffic moment-matching term: the semi-honest
+    server observes the client's uploaded features during normal service, so
+    it can align its shadow head's per-channel feature statistics with the
+    observed marginal distribution.  This uses no queries (it never sees
+    input/feature *pairs*) and substantially strengthens the shadow — set it
+    to 0 to ablate.
+    """
+
+    shadow: TrainingConfig = TrainingConfig(epochs=3, lr=0.05)
+    decoder: TrainingConfig = TrainingConfig(epochs=3, lr=3e-3, optimizer="adam")
+    decoder_width: int = 32
+    moment_weight: float = 10.0
+    gram_weight: float = 10.0
+    bn_weight: float = 5.0
+    decoder_noise_aug: float = 0.1
+    standardize_features: bool = True
+    shadow_mode: str = "matched"  # 'matched' (victim architecture) or 'paper' (3-conv)
+
+
+@dataclasses.dataclass
+class AttackArtifacts:
+    """What a completed attack hands to the evaluation: the trained decoder
+    (plus the shadow head it inverts, for inspection).
+
+    ``input_mean`` / ``input_std`` standardise the decoder's input; at attack
+    time they are the statistics of *observed victim traffic*, which cancels
+    the element-wise scale/shift mismatch between shadow and victim features.
+    """
+
+    name: str
+    shadow_head: nn.Module
+    decoder: nn.Module
+    input_mean: np.ndarray | None = None
+    input_std: np.ndarray | None = None
+    details: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def reconstruct(self, intercepted_features: np.ndarray) -> np.ndarray:
+        """Apply the inversion decoder to intercepted intermediate features."""
+        self.decoder.eval()
+        features = np.asarray(intercepted_features, dtype=np.float32)
+        if self.input_mean is not None:
+            features = (features - self.input_mean) / (self.input_std + 1e-3)
+        with no_grad():
+            return self.decoder(Tensor(features)).data
+
+
+class InversionAttack:
+    """The adversarial server's attack toolkit."""
+
+    def __init__(
+        self,
+        model_config: ResNetConfig,
+        image_shape: tuple[int, int, int],
+        aux_dataset: ArrayDataset,
+        config: AttackConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.model_config = model_config
+        self.image_shape = image_shape
+        self.aux_dataset = aux_dataset
+        self.config = config if config is not None else AttackConfig()
+        self.rng = rng if rng is not None else new_rng()
+        self.intermediate_shape = model_config.intermediate_shape(image_shape[1])
+        self._observed_mean: np.ndarray | None = None
+        self._observed_std: np.ndarray | None = None
+        self._observed_gram: np.ndarray | None = None
+
+    def observe_traffic(self, intercepted_features: np.ndarray) -> None:
+        """Record marginal statistics of intercepted client traffic.
+
+        The server sees every uploaded feature tensor while providing the
+        service; it keeps the element-wise mean and standard-deviation maps
+        and the channel Gram matrix over observed uploads.  All are marginal
+        statistics (never paired with inputs), so the query-free assumption
+        holds.  The Gram matrix pins down channel identities, which is what
+        makes the shadow head converge to the victim's representation.
+        """
+        features = np.asarray(intercepted_features)
+        if features.ndim != 4:
+            raise ValueError("expected NCHW intercepted features")
+        self._observed_mean = features.mean(axis=0).astype(np.float32)
+        self._observed_std = features.std(axis=0).astype(np.float32)
+        n, c, h, w = features.shape
+        flat = features.reshape(n, c, h * w)
+        gram = np.einsum("ncl,ndl->cd", flat, flat) / (n * h * w)
+        self._observed_gram = gram.astype(np.float32)
+
+    # -- phase 1: shadow network ----------------------------------------
+    def train_shadow(self, bodies: list[nn.Module]) -> nn.Module:
+        """Fit a shadow head/tail against the frozen ``bodies``.
+
+        With one body this is the standard CI shadow; with several, the
+        attacker imitates the selector with a uniform 1/K concatenation.
+        """
+        if not bodies:
+            raise ValueError("attack needs at least one server body")
+        for body in bodies:
+            body.requires_grad_(False)
+            body.eval()
+        shadow_head = build_shadow_head(self.model_config, self.config.shadow_mode,
+                                        spawn_rng(self.rng))
+        shadow_tail = build_shadow_tail(self.model_config, in_multiplier=len(bodies),
+                                        rng=spawn_rng(self.rng))
+        shadow_head.train()
+        shadow_tail.train()
+        scale = 1.0 / len(bodies)
+        moment_weight = self.config.moment_weight
+        gram_weight = self.config.gram_weight
+        bn_weight = self.config.bn_weight
+        use_moments = moment_weight > 0 and self._observed_mean is not None
+        use_gram = gram_weight > 0 and self._observed_gram is not None
+        if use_moments:
+            observed_mean = Tensor(self._observed_mean)
+            observed_std = Tensor(self._observed_std)
+        if use_gram:
+            observed_gram = Tensor(self._observed_gram)
+
+        body_bns: list[nn.BatchNorm2d] = []
+        if bn_weight > 0:
+            for body in bodies:
+                for module in body.modules():
+                    if isinstance(module, nn.BatchNorm2d):
+                        module.record_batch_stats = True
+                        body_bns.append(module)
+
+        def loss_fn(images, labels):
+            features = shadow_head(Tensor(images))
+            outputs = [body(features) * scale for body in bodies]
+            logits = shadow_tail(concat(outputs, axis=1))
+            loss = F.cross_entropy(logits, labels)
+            if use_moments:
+                mean = features.mean(axis=0)
+                std = (features.var(axis=0) + 1e-6).sqrt()
+                moment_gap = (((mean - observed_mean) ** 2).mean()
+                              + ((std - observed_std) ** 2).mean())
+                loss = loss + moment_weight * moment_gap
+            if use_gram:
+                n, c, h, w = features.shape
+                flat = features.reshape(n, c, h * w)
+                gram = (flat @ flat.transpose(0, 2, 1)).sum(axis=0) / (n * h * w)
+                loss = loss + gram_weight * ((gram - observed_gram) ** 2).mean()
+            if body_bns:
+                # DeepInversion-style prior: the frozen bodies' BatchNorm
+                # running statistics describe the activations the victim's
+                # head produced; a matching shadow reproduces them.
+                gaps = []
+                for bn in body_bns:
+                    batch_mean, batch_var = bn.recorded_stats
+                    gaps.append(((batch_mean - Tensor(bn.running_mean)) ** 2).mean()
+                                + ((batch_var - Tensor(bn.running_var)) ** 2).mean())
+                loss = loss + bn_weight * nn.stack(gaps).mean()
+            return loss
+
+        params = shadow_head.parameters() + shadow_tail.parameters()
+        try:
+            history = run_sgd(params, loss_fn, self.aux_dataset, self.config.shadow,
+                              spawn_rng(self.rng))
+        finally:
+            for bn in body_bns:
+                bn.record_batch_stats = False
+                bn.recorded_stats = None
+        recalibrate_batchnorm([shadow_head],
+                              lambda images: shadow_head(Tensor(images)),
+                              self.aux_dataset.images, self.config.shadow.batch_size)
+        logger.info("shadow training final loss %.4f", history[-1])
+        shadow_head.eval()
+        return shadow_head
+
+    # -- phase 2: inversion decoder ---------------------------------------
+    def _shadow_feature_stats(self, shadow_head: nn.Module) -> tuple[np.ndarray, np.ndarray]:
+        """Element-wise mean/std maps of the shadow features over aux data."""
+        shadow_head.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(self.aux_dataset), 128):
+                batch = self.aux_dataset.images[start:start + 128]
+                outputs.append(shadow_head(Tensor(batch)).data)
+        features = np.concatenate(outputs)
+        return features.mean(axis=0), features.std(axis=0)
+
+    def train_decoder(self, shadow_head: nn.Module) -> tuple[nn.Module, np.ndarray, np.ndarray]:
+        """Fit ``~M_c,h^{-1}``: reconstruct aux images from shadow features.
+
+        Two transfer aids are applied: (1) the decoder input is standardised
+        element-wise — at training time with shadow-feature statistics, at
+        attack time with observed-traffic statistics — cancelling the
+        first-order mismatch between shadow and victim features; (2) Gaussian
+        input augmentation makes the decoder a denoising inverse, widening
+        its basin so residual mismatch (and the victim's additive noise) do
+        not break it.  Returns the decoder and the shadow stats.
+        """
+        decoder = build_decoder(self.intermediate_shape, self.image_shape,
+                                width=self.config.decoder_width, rng=spawn_rng(self.rng))
+        shadow_head.eval()
+        decoder.train()
+        aug_sigma = self.config.decoder_noise_aug
+        aug_rng = spawn_rng(self.rng)
+        if self.config.standardize_features:
+            shadow_mean, shadow_std = self._shadow_feature_stats(shadow_head)
+        else:
+            shadow_mean = np.zeros(self.intermediate_shape, dtype=np.float32)
+            shadow_std = np.ones(self.intermediate_shape, dtype=np.float32)
+
+        def loss_fn(images, _labels):
+            x = Tensor(images)
+            with no_grad():
+                features = shadow_head(x)
+            feature_data = (features.data - shadow_mean) / (shadow_std + 1e-3)
+            if aug_sigma > 0:
+                feature_data = feature_data + aug_rng.normal(
+                    0.0, aug_sigma, size=feature_data.shape).astype(np.float32)
+            reconstruction = decoder(Tensor(feature_data.astype(np.float32)))
+            return F.mse_loss(reconstruction, x)
+
+        history = run_sgd(decoder.parameters(), loss_fn, self.aux_dataset,
+                          self.config.decoder, spawn_rng(self.rng))
+        logger.info("decoder training final loss %.4f", history[-1])
+        decoder.eval()
+        return decoder, shadow_mean, shadow_std
+
+    def _attack_time_stats(self, shadow_mean: np.ndarray,
+                           shadow_std: np.ndarray) -> tuple[np.ndarray, np.ndarray] | tuple[None, None]:
+        """Standardisation stats applied to intercepted features.
+
+        Observed victim-traffic statistics when available, else the shadow's
+        own statistics (the attacker's best guess).
+        """
+        if not self.config.standardize_features:
+            return None, None
+        if self._observed_mean is not None:
+            return self._observed_mean, self._observed_std
+        return shadow_mean, shadow_std
+
+    # -- attack constructions (Section III-B) ------------------------------
+    def _assemble(self, name: str, shadow_head: nn.Module,
+                  details: dict[str, Any]) -> AttackArtifacts:
+        decoder, shadow_mean, shadow_std = self.train_decoder(shadow_head)
+        mean, std = self._attack_time_stats(shadow_mean, shadow_std)
+        return AttackArtifacts(name, shadow_head, decoder,
+                               input_mean=mean, input_std=std, details=details)
+
+    def attack_single(self, body: nn.Module, index: int | None = None) -> AttackArtifacts:
+        """Proposition 1 setting: shadow built from a single server net."""
+        shadow_head = self.train_shadow([body])
+        name = "single" if index is None else f"single[{index}]"
+        return self._assemble(name, shadow_head, {"body_index": index})
+
+    def attack_adaptive(self, bodies: list[nn.Module]) -> AttackArtifacts:
+        """Proposition 2 setting: shadow trained on the entire ensemble with a
+        selector-shaped (uniform) activation."""
+        shadow_head = self.train_shadow(list(bodies))
+        return self._assemble("adaptive", shadow_head, {"num_bodies": len(bodies)})
+
+    def attack_subset(self, bodies: list[nn.Module], subset: tuple[int, ...]) -> AttackArtifacts:
+        """Brute-force building block: shadow trained on a chosen subset."""
+        chosen = [bodies[i] for i in subset]
+        shadow_head = self.train_shadow(chosen)
+        return self._assemble(f"subset{tuple(subset)}", shadow_head,
+                              {"subset": tuple(subset)})

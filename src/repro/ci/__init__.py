@@ -1,0 +1,15 @@
+"""Collaborative-inference protocol: roles, channel and pipelines."""
+
+from repro.ci.channel import HEADER_BYTES, Channel, TransferStats, payload_nbytes
+from repro.ci.pipeline import Client, EnsembleCIPipeline, Server, StandardCIPipeline
+
+__all__ = [
+    "Channel",
+    "Client",
+    "EnsembleCIPipeline",
+    "HEADER_BYTES",
+    "Server",
+    "StandardCIPipeline",
+    "TransferStats",
+    "payload_nbytes",
+]

@@ -1,0 +1,69 @@
+"""In-process transport between the CI client and server.
+
+The channel moves NumPy payloads and records exact byte/message counts in
+each direction.  Those counts drive the communication column of the Table III
+latency model, so they must reflect what a real deployment would serialise:
+the array payload (dtype bytes) plus a small framing header.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+HEADER_BYTES = 64  # shape/dtype/tensor-id framing per message
+
+
+@dataclasses.dataclass
+class TransferStats:
+    """Accumulated traffic counters for one channel."""
+
+    uplink_messages: int = 0
+    uplink_bytes: int = 0
+    downlink_messages: int = 0
+    downlink_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uplink_bytes + self.downlink_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return self.uplink_messages + self.downlink_messages
+
+    def reset(self) -> None:
+        self.uplink_messages = 0
+        self.uplink_bytes = 0
+        self.downlink_messages = 0
+        self.downlink_bytes = 0
+
+
+def payload_nbytes(payload: np.ndarray | list[np.ndarray]) -> int:
+    """Wire size of a payload: array bytes plus framing per array."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes + HEADER_BYTES
+    return sum(arr.nbytes + HEADER_BYTES for arr in payload)
+
+
+class Channel:
+    """Bidirectional client<->server link with byte accounting.
+
+    ``send_up`` models client-to-server transmission (intermediate features);
+    ``send_down`` models server-to-client transmission (feature maps / logits).
+    Payloads pass through unchanged — the simulation is about *accounting*,
+    not copies.
+    """
+
+    def __init__(self):
+        self.stats = TransferStats()
+
+    def send_up(self, payload: np.ndarray | list[np.ndarray]):
+        self.stats.uplink_messages += 1
+        self.stats.uplink_bytes += payload_nbytes(payload)
+        return payload
+
+    def send_down(self, payload: np.ndarray | list[np.ndarray]):
+        self.stats.downlink_messages += 1
+        self.stats.downlink_bytes += payload_nbytes(payload)
+        return payload

@@ -1,0 +1,107 @@
+"""Collaborative-inference pipelines (Fig. 1a and Fig. 2 of the paper).
+
+``StandardCIPipeline`` is the classical split: client head -> server body ->
+client tail.  ``EnsembleCIPipeline`` is Ensembler's inference path: the client
+uploads noised intermediate features once, the server runs *all* N bodies and
+returns all N feature vectors, and the client privately selects P of them
+before its tail.  Both run over a byte-counting :class:`~repro.ci.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.ci.channel import Channel
+from repro.nn.tensor import Tensor, no_grad
+
+
+class Client:
+    """Edge-device role: holds ``M_c,h``, the noise layer, the (optional)
+    selector and ``M_c,t``.  Never reveals selector or head weights."""
+
+    def __init__(self, head: nn.Module, tail: nn.Module, noise: nn.Module | None = None,
+                 selector=None):
+        self.head = head
+        self.tail = tail
+        self.noise = noise if noise is not None else nn.Identity()
+        self._selector = selector  # private by convention: the server must not see it
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """Compute the intermediate features ``M_c,h(x) + noise`` to upload."""
+        with no_grad():
+            features = self.noise(self.head(Tensor(images)))
+        return features.data
+
+    def decide(self, returned: np.ndarray | list[np.ndarray]) -> np.ndarray:
+        """Run the private selector (if any) and the tail on returned features."""
+        with no_grad():
+            if self._selector is not None:
+                tensors = [Tensor(arr) for arr in returned]
+                combined = self._selector(tensors)
+            else:
+                combined = Tensor(returned)
+            logits = self.tail(combined)
+        return logits.data
+
+
+class Server:
+    """Cloud role: holds one or more bodies ``M_s^i`` and runs them all.
+
+    The server is semi-honest: it follows the protocol but may retain the
+    uploaded features for a model-inversion attack.
+    """
+
+    def __init__(self, bodies: list[nn.Module]):
+        if not bodies:
+            raise ValueError("server needs at least one body network")
+        self.bodies = bodies
+        self.observed_features: list[np.ndarray] = []
+
+    def compute(self, features: np.ndarray, record: bool = False) -> list[np.ndarray]:
+        """Run every body on the uploaded features and return all outputs."""
+        if record:
+            self.observed_features.append(np.array(features, copy=True))
+        with no_grad():
+            x = Tensor(features)
+            return [body(x).data for body in self.bodies]
+
+
+class StandardCIPipeline:
+    """Classical collaborative inference with a single server body."""
+
+    def __init__(self, client: Client, server: Server, channel: Channel | None = None):
+        if len(server.bodies) != 1:
+            raise ValueError("standard CI uses exactly one server body")
+        self.client = client
+        self.server = server
+        self.channel = channel if channel is not None else Channel()
+
+    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
+        features = self.client.encode(images)
+        uploaded = self.channel.send_up(features)
+        outputs = self.server.compute(uploaded, record=record)
+        returned = self.channel.send_down(outputs[0])
+        return self.client.decide(returned)
+
+
+class EnsembleCIPipeline:
+    """Ensembler inference: one upload, N bodies, N downloads, private select."""
+
+    def __init__(self, client: Client, server: Server, channel: Channel | None = None):
+        if client._selector is None:
+            raise ValueError("ensemble CI requires a client-side selector")
+        self.client = client
+        self.server = server
+        self.channel = channel if channel is not None else Channel()
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.server.bodies)
+
+    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
+        features = self.client.encode(images)
+        uploaded = self.channel.send_up(features)
+        outputs = self.server.compute(uploaded, record=record)
+        returned = self.channel.send_down(outputs)  # all N go back; selection is private
+        return self.client.decide(returned)

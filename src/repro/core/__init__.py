@@ -1,0 +1,45 @@
+"""The Ensembler defense — the paper's primary contribution.
+
+* :class:`~repro.core.selector.Selector` — the client-secret P-of-N
+  activation (Eq. 1).
+* :class:`~repro.core.noise.FixedGaussianNoise` — the fixed noise maps that
+  diversify the stage-1 networks.
+* :class:`~repro.core.ensemble.EnsemblerModel` — the assembled pipeline.
+* :class:`~repro.core.training.EnsemblerTrainer` — the three-stage training
+  procedure (Eqs. 2 and 3).
+"""
+
+from repro.core.diagnostics import (
+    MechanismReport,
+    head_similarity,
+    head_similarity_matrix,
+    mechanism_report,
+)
+from repro.core.ensemble import EnsemblerModel
+from repro.core.noise import FixedGaussianNoise, FreshGaussianNoise
+from repro.core.selector import Selector, brute_force_search_space, enumerate_subsets
+from repro.core.training import (
+    EnsemblerConfig,
+    EnsemblerTrainer,
+    EnsemblerTrainingResult,
+    TrainingConfig,
+    run_sgd,
+)
+
+__all__ = [
+    "EnsemblerConfig",
+    "EnsemblerModel",
+    "EnsemblerTrainer",
+    "EnsemblerTrainingResult",
+    "FixedGaussianNoise",
+    "FreshGaussianNoise",
+    "MechanismReport",
+    "Selector",
+    "TrainingConfig",
+    "brute_force_search_space",
+    "enumerate_subsets",
+    "head_similarity",
+    "head_similarity_matrix",
+    "mechanism_report",
+    "run_sgd",
+]

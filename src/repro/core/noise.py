@@ -1,0 +1,54 @@
+"""Noise layers applied to the intermediate features at the split point.
+
+The paper uses *fixed* Gaussian noise ``g ~ N(0, 0.1)`` (Section IV-A): a
+noise map drawn once and added to every intermediate output.  Stage 1 gives
+each of the N networks its own independently drawn map — randomly initialised
+maps are quasi-orthogonal, which is what forces the N heads apart (Section
+III-C).  A fresh-per-call variant is provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class FixedGaussianNoise(nn.Module):
+    """Additive noise map drawn once at construction (the paper's ``N(0, σ)^i``).
+
+    The map has the shape of one intermediate feature tensor (C, H, W) and is
+    broadcast over the batch.  It is registered as a buffer: the client keeps
+    it with the model, while the server never sees it.
+    """
+
+    def __init__(self, shape: tuple[int, ...], sigma: float,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        rng = rng if rng is not None else new_rng()
+        self.sigma = sigma
+        self.register_buffer("noise", rng.normal(0.0, sigma, size=shape).astype(np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + Tensor(self.noise)
+
+
+class FreshGaussianNoise(nn.Module):
+    """Noise re-sampled on every call (ablation; not the paper's default)."""
+
+    def __init__(self, sigma: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self._rng = rng if rng is not None else new_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.sigma == 0.0:
+            return x
+        noise = self._rng.normal(0.0, self.sigma, size=x.shape).astype(np.float32)
+        return x + Tensor(noise)

@@ -1,0 +1,93 @@
+"""The client-secret Selector (Eq. 1 of the paper).
+
+The selector activates P of the N feature vectors returned by the server,
+scales each by ``S_i = 1/P`` and concatenates them as the tail's input:
+
+    Sel[M_s(x)] = Concat[S_i ⊙ f  for f in  M_s(x')_p]
+
+The selection is the client's secret — it is never transmitted, and the
+expected brute-force cost for the server to find it is O(2^N) (Section III-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import new_rng
+
+
+class Selector:
+    """Secret P-of-N activation with 1/P normalisation and concatenation."""
+
+    def __init__(self, num_nets: int, indices: tuple[int, ...]):
+        indices = tuple(sorted(int(i) for i in indices))
+        if not indices:
+            raise ValueError("selector must activate at least one net")
+        if len(set(indices)) != len(indices):
+            raise ValueError("selector indices must be unique")
+        if indices[0] < 0 or indices[-1] >= num_nets:
+            raise ValueError(f"indices must lie in [0, {num_nets})")
+        self.num_nets = num_nets
+        self._indices = indices
+
+    @classmethod
+    def random(cls, num_nets: int, num_active: int,
+               rng: np.random.Generator | None = None) -> "Selector":
+        """Stage-2 of the training pipeline: secretly select P of the N nets."""
+        if not 1 <= num_active <= num_nets:
+            raise ValueError("need 1 <= num_active <= num_nets")
+        rng = rng if rng is not None else new_rng()
+        chosen = rng.choice(num_nets, size=num_active, replace=False)
+        return cls(num_nets, tuple(int(i) for i in chosen))
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """The secret subset.  Client-side code only."""
+        return self._indices
+
+    @property
+    def num_active(self) -> int:
+        return len(self._indices)
+
+    def __call__(self, features: list[Tensor]) -> Tensor:
+        """Apply Eq. 1 to the N returned feature tensors."""
+        if len(features) != self.num_nets:
+            raise ValueError(f"expected {self.num_nets} feature tensors, got {len(features)}")
+        scale = 1.0 / self.num_active
+        activated = [features[i] * scale for i in self._indices]
+        return concat(activated, axis=1)
+
+    def apply_subset(self, features: list[Tensor]) -> Tensor:
+        """Apply the selector when only the P activated features are provided
+        (stage-3 training evaluates just the frozen selected bodies)."""
+        if len(features) != self.num_active:
+            raise ValueError(f"expected {self.num_active} activated tensors")
+        scale = 1.0 / self.num_active
+        return concat([f * scale for f in features], axis=1)
+
+    def __repr__(self) -> str:  # does not leak the secret subset
+        return f"Selector(num_nets={self.num_nets}, num_active={self.num_active})"
+
+
+def brute_force_search_space(num_nets: int, num_active: int | None = None) -> int:
+    """Number of candidate subsets an attacker must try (Section III-D).
+
+    Without knowledge of P the space is all non-empty subsets, 2^N - 1;
+    knowing P it is C(N, P).
+    """
+    if num_active is None:
+        return 2**num_nets - 1
+    return math.comb(num_nets, num_active)
+
+
+def enumerate_subsets(num_nets: int, num_active: int | None = None):
+    """Yield candidate selector subsets in deterministic order."""
+    if num_active is not None:
+        yield from itertools.combinations(range(num_nets), num_active)
+        return
+    for size in range(1, num_nets + 1):
+        yield from itertools.combinations(range(num_nets), size)

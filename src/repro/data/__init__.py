@@ -1,0 +1,29 @@
+"""Data substrate: procedural datasets and loaders.
+
+The three benchmark datasets of the paper (CIFAR-10, CIFAR-100, CelebA-HQ)
+cannot be downloaded offline; :mod:`repro.data.synthetic` provides procedural
+stand-ins with the properties the experiments measure (class-predictive
+structure + per-instance content).  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.data.datasets import ArrayDataset, DataLoader, Dataset, DatasetBundle
+from repro.data.synthetic import (
+    celeba_hq_like,
+    cifar10_like,
+    cifar100_like,
+    make_face_identification,
+    make_pattern_classification,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "Dataset",
+    "DatasetBundle",
+    "celeba_hq_like",
+    "cifar10_like",
+    "cifar100_like",
+    "make_face_identification",
+    "make_pattern_classification",
+]

@@ -1,0 +1,100 @@
+"""Dataset and loader abstractions.
+
+Images are NCHW ``float32`` arrays in ``[0, 1]``; labels are integer class
+indices.  The interface intentionally mirrors the PyTorch one the paper's code
+would have used (``Dataset`` + ``DataLoader``), minus worker processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class Dataset:
+    """Abstract map-style dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over parallel image/label arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        if images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        self.images = np.ascontiguousarray(images, dtype=np.float32)
+        self.labels = np.ascontiguousarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Iterating yields ``(images, labels)`` NumPy batches; the training loops
+    wrap images into tensors themselves so evaluation code can stay
+    allocation-free.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, shuffle: bool = False,
+                 drop_last: bool = False, rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else new_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetBundle:
+    """A named train/test pair with its metadata, as used by the experiments."""
+
+    name: str
+    train: ArrayDataset
+    test: ArrayDataset
+    num_classes: int
+    image_shape: tuple[int, int, int]
+
+    def __post_init__(self):
+        if self.train.images.shape[1:] != self.image_shape:
+            raise ValueError("train images do not match image_shape")
+        if self.test.images.shape[1:] != self.image_shape:
+            raise ValueError("test images do not match image_shape")

@@ -1,0 +1,188 @@
+"""Procedural image generators standing in for CIFAR-10/100 and CelebA-HQ.
+
+No datasets can be downloaded in this environment, so each benchmark dataset
+is replaced by a *procedural* generator with the properties the experiments
+rely on:
+
+* **class-predictive structure** — each class has a deterministic spatial
+  pattern (texture + blob layout, or face geometry for the CelebA stand-in),
+  so classifiers reach high accuracy and the ΔAcc column is meaningful;
+* **per-instance content** — samples differ by shifts, amplitude jitter and
+  pixel noise, so reconstructing an *instance* (what MIA does) is strictly
+  harder than predicting its class, and SSIM/PSNR measure real leakage;
+* **natural value range** — images live in [0, 1] like normalised photos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset, DatasetBundle
+
+
+def _class_texture(class_id: int, channels: int, size: int, seed: int) -> np.ndarray:
+    """Deterministic per-class pattern: oriented gratings plus Gaussian blobs."""
+    rng = np.random.default_rng(seed * 10_007 + class_id)
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    pattern = np.zeros((channels, size, size))
+    for c in range(channels):
+        freq = rng.uniform(1.5, 4.5)
+        theta = rng.uniform(0, np.pi)
+        phase = rng.uniform(0, 2 * np.pi)
+        grating = np.sin(2 * np.pi * freq * (xx * np.cos(theta) + yy * np.sin(theta)) + phase)
+        pattern[c] = 0.5 * grating
+    for _ in range(2):
+        cy, cx = rng.uniform(0.2, 0.8, size=2)
+        sigma = rng.uniform(0.08, 0.2)
+        blob = np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma**2))
+        weights = rng.uniform(-1.0, 1.0, size=channels)[:, None, None]
+        pattern += weights * blob
+    return pattern
+
+
+def make_pattern_classification(
+    num_classes: int,
+    samples_per_class: int,
+    size: int,
+    rng: np.random.Generator,
+    channels: int = 3,
+    noise_std: float = 0.06,
+    seed: int = 0,
+) -> ArrayDataset:
+    """Sample a labelled dataset from the per-class texture model."""
+    images = np.empty((num_classes * samples_per_class, channels, size, size), dtype=np.float32)
+    labels = np.empty(num_classes * samples_per_class, dtype=np.int64)
+    index = 0
+    for class_id in range(num_classes):
+        base = _class_texture(class_id, channels, size, seed)
+        for _ in range(samples_per_class):
+            shift_y, shift_x = rng.integers(-size // 8, size // 8 + 1, size=2)
+            sample = np.roll(base, (int(shift_y), int(shift_x)), axis=(1, 2))
+            if rng.random() < 0.5:
+                sample = sample[:, :, ::-1]
+            amplitude = rng.uniform(0.8, 1.2)
+            sample = 0.5 + 0.35 * amplitude * sample
+            sample += rng.normal(0.0, noise_std, size=sample.shape)
+            images[index] = np.clip(sample, 0.0, 1.0)
+            labels[index] = class_id
+            index += 1
+    order = rng.permutation(len(images))
+    return ArrayDataset(images[order], labels[order])
+
+
+# ----------------------------------------------------------------------
+# CelebA-HQ stand-in: procedural faces, identity classification
+# ----------------------------------------------------------------------
+
+
+def _identity_params(identity: int, seed: int) -> dict[str, float]:
+    rng = np.random.default_rng(seed * 20_011 + identity)
+    return {
+        "face_w": rng.uniform(0.28, 0.38),
+        "face_h": rng.uniform(0.34, 0.46),
+        "skin_r": rng.uniform(0.55, 0.95),
+        "skin_g": rng.uniform(0.4, 0.75),
+        "skin_b": rng.uniform(0.3, 0.65),
+        "eye_dx": rng.uniform(0.1, 0.16),
+        "eye_y": rng.uniform(0.4, 0.48),
+        "eye_size": rng.uniform(0.025, 0.05),
+        "mouth_w": rng.uniform(0.08, 0.18),
+        "mouth_y": rng.uniform(0.66, 0.74),
+        "hair_level": rng.uniform(0.12, 0.25),
+        "hair_r": rng.uniform(0.05, 0.5),
+        "hair_g": rng.uniform(0.05, 0.4),
+        "hair_b": rng.uniform(0.05, 0.35),
+        "bg_angle": rng.uniform(0, 2 * np.pi),
+    }
+
+
+def _render_face(params: dict[str, float], size: int, shift: tuple[float, float],
+                 brightness: float) -> np.ndarray:
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    yy = yy + shift[0]
+    xx = xx + shift[1]
+    image = np.zeros((3, size, size))
+    # Background gradient (identity-specific orientation).
+    grad = 0.3 + 0.3 * (np.cos(params["bg_angle"]) * xx + np.sin(params["bg_angle"]) * yy)
+    image[:] = grad
+    # Hair: block above the face.
+    hair = yy < params["hair_level"] + 0.12
+    for c, key in enumerate(("hair_r", "hair_g", "hair_b")):
+        image[c][hair] = params[key]
+    # Face ellipse.
+    face = (((xx - 0.5) / params["face_w"]) ** 2 + ((yy - 0.55) / params["face_h"]) ** 2) < 1.0
+    for c, key in enumerate(("skin_r", "skin_g", "skin_b")):
+        image[c][face] = params[key]
+    # Eyes.
+    for side in (-1.0, 1.0):
+        ex = 0.5 + side * params["eye_dx"]
+        eye = ((xx - ex) ** 2 + (yy - params["eye_y"]) ** 2) < params["eye_size"] ** 2
+        image[:, eye] = 0.08
+    # Mouth.
+    mouth = (np.abs(xx - 0.5) < params["mouth_w"]) & (np.abs(yy - params["mouth_y"]) < 0.02)
+    image[0][mouth] = 0.55
+    image[1][mouth] = 0.1
+    image[2][mouth] = 0.15
+    return np.clip(image * brightness, 0.0, 1.0)
+
+
+def make_face_identification(
+    num_identities: int,
+    samples_per_identity: int,
+    size: int,
+    rng: np.random.Generator,
+    noise_std: float = 0.02,
+    seed: int = 0,
+) -> ArrayDataset:
+    """Procedural face-identification dataset (CelebA-HQ stand-in)."""
+    total = num_identities * samples_per_identity
+    images = np.empty((total, 3, size, size), dtype=np.float32)
+    labels = np.empty(total, dtype=np.int64)
+    index = 0
+    for identity in range(num_identities):
+        params = _identity_params(identity, seed)
+        for _ in range(samples_per_identity):
+            shift = tuple(rng.uniform(-0.04, 0.04, size=2))
+            brightness = rng.uniform(0.85, 1.15)
+            sample = _render_face(params, size, shift, brightness)
+            sample += rng.normal(0.0, noise_std, size=sample.shape)
+            images[index] = np.clip(sample, 0.0, 1.0)
+            labels[index] = identity
+            index += 1
+    order = rng.permutation(total)
+    return ArrayDataset(images[order], labels[order])
+
+
+# ----------------------------------------------------------------------
+# Named bundles matching the paper's three benchmarks
+# ----------------------------------------------------------------------
+
+
+def cifar10_like(size: int = 32, train_per_class: int = 64, test_per_class: int = 16,
+                 rng: np.random.Generator | None = None, num_classes: int = 10,
+                 seed: int = 1) -> DatasetBundle:
+    """CIFAR-10 stand-in: ``num_classes`` texture classes at ``size``²."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    train = make_pattern_classification(num_classes, train_per_class, size, rng, seed=seed)
+    test = make_pattern_classification(num_classes, test_per_class, size, rng, seed=seed)
+    return DatasetBundle("cifar10-like", train, test, num_classes, (3, size, size))
+
+
+def cifar100_like(size: int = 32, train_per_class: int = 16, test_per_class: int = 4,
+                  rng: np.random.Generator | None = None, num_classes: int = 100,
+                  seed: int = 2) -> DatasetBundle:
+    """CIFAR-100 stand-in: more classes, fewer samples per class."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    train = make_pattern_classification(num_classes, train_per_class, size, rng, seed=seed)
+    test = make_pattern_classification(num_classes, test_per_class, size, rng, seed=seed)
+    return DatasetBundle("cifar100-like", train, test, num_classes, (3, size, size))
+
+
+def celeba_hq_like(size: int = 64, num_identities: int = 8, train_per_identity: int = 48,
+                   test_per_identity: int = 12, rng: np.random.Generator | None = None,
+                   seed: int = 3) -> DatasetBundle:
+    """CelebA-HQ stand-in: procedural face identification."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    train = make_face_identification(num_identities, train_per_identity, size, rng, seed=seed)
+    test = make_face_identification(num_identities, test_per_identity, size, rng, seed=seed)
+    return DatasetBundle("celeba-hq-like", train, test, num_identities, (3, size, size))

@@ -1,0 +1,32 @@
+"""Defenses evaluated in the paper, behind one uniform ``FittedDefense`` API.
+
+``REGISTRY`` maps the row names of Tables I/II to fit functions with the
+signature ``fit(bundle, model_config, rng=..., **kwargs) -> FittedDefense``.
+"""
+
+from repro.defenses.base import AlwaysOnDropout, FittedDefense
+from repro.defenses.baselines import fit_dropout_single, fit_no_defense, fit_single
+from repro.defenses.ensemble_defenses import fit_dropout_ensemble, fit_ensembler
+from repro.defenses.shredder import ShredderNoise, fit_shredder
+
+REGISTRY = {
+    "none": fit_no_defense,
+    "single": fit_single,
+    "shredder": fit_shredder,
+    "dr-single": fit_dropout_single,
+    "dr-ensemble": fit_dropout_ensemble,
+    "ensembler": fit_ensembler,
+}
+
+__all__ = [
+    "AlwaysOnDropout",
+    "FittedDefense",
+    "REGISTRY",
+    "ShredderNoise",
+    "fit_dropout_ensemble",
+    "fit_dropout_single",
+    "fit_ensembler",
+    "fit_no_defense",
+    "fit_shredder",
+    "fit_single",
+]

@@ -1,0 +1,103 @@
+"""Single-network baselines of Tables I and II.
+
+* ``fit_no_defense``  — "None": the unprotected split network.
+* ``fit_single``      — "Single [30]": one network trained with a fixed
+  Gaussian noise map at the split point (the non-ensembled counterpart of
+  Ensembler; reference [30] is the calibrated-noise line of work).
+* ``fit_dropout_single`` — "DR-single [34]": dropout on the transmitted
+  features, active at inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.noise import FixedGaussianNoise
+from repro.core.training import TrainingConfig, recalibrate_batchnorm, run_sgd
+from repro.data.datasets import DatasetBundle
+from repro.defenses.base import AlwaysOnDropout, FittedDefense
+from repro.models.resnet import ResNet, ResNetConfig
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng, spawn_rng
+
+
+def _train_single_pipeline(
+    bundle: DatasetBundle,
+    model_config: ResNetConfig,
+    noise: nn.Module,
+    training: TrainingConfig,
+    rng: np.random.Generator,
+) -> tuple[ResNet, list[float]]:
+    """Train one complete split network with ``noise`` at the split point."""
+    net = ResNet(model_config, rng=spawn_rng(rng))
+    net.train()
+    noise.train()
+
+    def loss_fn(images, labels):
+        features = noise(net.head(Tensor(images)))
+        logits = net.tail(net.body(features))
+        return F.cross_entropy(logits, labels)
+
+    history = run_sgd(net.parameters(), loss_fn, bundle.train, training, spawn_rng(rng))
+
+    def replay(images):
+        return net.tail(net.body(noise(net.head(Tensor(images)))))
+
+    recalibrate_batchnorm([net], replay, bundle.train.images, training.batch_size)
+    net.eval()
+    return net, history
+
+
+def fit_no_defense(
+    bundle: DatasetBundle,
+    model_config: ResNetConfig,
+    training: TrainingConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> FittedDefense:
+    """The unprotected pipeline ("None" row of Table II)."""
+    rng = rng if rng is not None else new_rng()
+    training = training if training is not None else TrainingConfig()
+    net, history = _train_single_pipeline(bundle, model_config, nn.Identity(), training, rng)
+    return FittedDefense(
+        name="none", head=net.head, bodies=[net.body], tail=net.tail,
+        noise=nn.Identity(), model_config=model_config,
+        extras={"history": history})
+
+
+def fit_single(
+    bundle: DatasetBundle,
+    model_config: ResNetConfig,
+    sigma: float = 0.1,
+    training: TrainingConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> FittedDefense:
+    """The "Single" baseline: fixed Gaussian noise, no ensemble."""
+    rng = rng if rng is not None else new_rng()
+    training = training if training is not None else TrainingConfig()
+    shape = model_config.intermediate_shape(bundle.image_shape[1])
+    noise = FixedGaussianNoise(shape, sigma, spawn_rng(rng))
+    net, history = _train_single_pipeline(bundle, model_config, noise, training, rng)
+    return FittedDefense(
+        name="single", head=net.head, bodies=[net.body], tail=net.tail,
+        noise=noise, model_config=model_config,
+        extras={"history": history, "sigma": sigma})
+
+
+def fit_dropout_single(
+    bundle: DatasetBundle,
+    model_config: ResNetConfig,
+    p: float = 0.2,
+    training: TrainingConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> FittedDefense:
+    """The "DR-single" baseline: inference-time dropout on the features."""
+    rng = rng if rng is not None else new_rng()
+    training = training if training is not None else TrainingConfig()
+    noise = AlwaysOnDropout(p, spawn_rng(rng))
+    net, history = _train_single_pipeline(bundle, model_config, noise, training, rng)
+    return FittedDefense(
+        name="dr-single", head=net.head, bodies=[net.body], tail=net.tail,
+        noise=noise, model_config=model_config,
+        extras={"history": history, "p": p})

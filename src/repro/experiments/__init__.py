@@ -1,0 +1,39 @@
+"""Experiment runners regenerating every table of the paper.
+
+* :func:`run_table1` — Table I (defense quality across datasets)
+* :func:`run_table2` — Table II (defense mechanisms on CIFAR-10)
+* :func:`run_table3` — Table III (latency)
+* :mod:`repro.experiments.ablations` — N/P/sigma/lambda sweeps, brute-force cost
+"""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    brute_force_cost_table,
+    sweep_lambda,
+    sweep_num_active,
+    sweep_num_nets,
+    sweep_sigma,
+)
+from repro.experiments.common import ExperimentPreset, get_preset
+from repro.experiments.table1 import DatasetTable, DefenseRow, Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+
+__all__ = [
+    "AblationResult",
+    "DatasetTable",
+    "DefenseRow",
+    "ExperimentPreset",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "brute_force_cost_table",
+    "get_preset",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "sweep_lambda",
+    "sweep_num_active",
+    "sweep_num_nets",
+    "sweep_sigma",
+]

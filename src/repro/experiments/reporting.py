@@ -1,0 +1,37 @@
+"""Markdown rendering of experiment results (the tables the paper prints)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells):
+        return "| " + " | ".join(str(c).ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt_row(headers), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Signed percentage with the paper's two decimals (e.g. '-2.13%')."""
+    return f"{value * 100:+.2f}%"
+
+
+def f3(value: float) -> str:
+    """Three-decimal format (SSIM columns)."""
+    return f"{value:.3f}"
+
+
+def f2(value: float) -> str:
+    """Two-decimal format (PSNR / seconds columns)."""
+    return f"{value:.2f}"

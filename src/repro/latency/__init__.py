@@ -1,0 +1,24 @@
+"""Latency simulation reproducing Table III (see DESIGN.md for calibration)."""
+
+from repro.latency.devices import A6000, RASPBERRY_PI, WIRED_LAN, DeviceModel, NetworkModel
+from repro.latency.model import (
+    LatencyBreakdown,
+    LatencyModel,
+    SplitWorkload,
+    workload_from_model,
+)
+from repro.latency.stamp import STAMP_SLOWDOWN_VS_PLAINTEXT, StampModel
+
+__all__ = [
+    "A6000",
+    "DeviceModel",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "NetworkModel",
+    "RASPBERRY_PI",
+    "STAMP_SLOWDOWN_VS_PLAINTEXT",
+    "SplitWorkload",
+    "StampModel",
+    "WIRED_LAN",
+    "workload_from_model",
+]

@@ -1,0 +1,125 @@
+"""End-to-end latency model for the three systems of Table III.
+
+``LatencyModel`` combines device/network cost models with the *actual* FLOP
+counts (via :mod:`repro.nn.profiling`) and the *actual* wire sizes (via
+:mod:`repro.ci.channel`) of a configured split network.
+
+The Ensembler server runs its N bodies concurrently on one GPU; the paper
+measures only ~4% extra server time for N=10, which we model with a serial
+fraction (Amdahl): ``server = base * (1 + serial_fraction * (N - 1))``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.ci.channel import HEADER_BYTES
+from repro.latency.devices import A6000, RASPBERRY_PI, WIRED_LAN, DeviceModel, NetworkModel
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBreakdown:
+    """One row of Table III (seconds)."""
+
+    name: str
+    client_s: float
+    server_s: float
+    communication_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.client_s + self.server_s + self.communication_s
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitWorkload:
+    """Static description of one inference batch crossing the split.
+
+    FLOP counts are per batch; byte counts are the wire sizes of the
+    transmitted tensors (feature upload, per-net feature download).
+    """
+
+    batch_size: int
+    client_head_flops: float
+    client_tail_flops: float
+    server_body_flops: float
+    upload_bytes: int
+    download_bytes_per_net: int
+
+
+class LatencyModel:
+    """Predicts Table III rows from a workload description."""
+
+    def __init__(
+        self,
+        client: DeviceModel = RASPBERRY_PI,
+        server: DeviceModel = A6000,
+        network: NetworkModel = WIRED_LAN,
+        serial_fraction: float = 0.0045,
+    ):
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+        self.client = client
+        self.server = server
+        self.network = network
+        self.serial_fraction = serial_fraction
+
+    def standard_ci(self, workload: SplitWorkload) -> LatencyBreakdown:
+        """Classical split inference: one body, one upload, one download."""
+        client = self.client.seconds(workload.client_head_flops + workload.client_tail_flops)
+        server = self.server.seconds(workload.server_body_flops)
+        comm = (self.network.uplink_seconds(workload.upload_bytes)
+                + self.network.downlink_seconds(workload.download_bytes_per_net))
+        return LatencyBreakdown("standard-ci", client, server, comm)
+
+    def ensembler(self, workload: SplitWorkload, num_nets: int) -> LatencyBreakdown:
+        """Ensembler: same upload, N concurrent bodies, N downloads.
+
+        Client time is unchanged by design (Section III-D): the head runs
+        once and the tail consumes the concatenated features whose total
+        width matches what the selector feeds it.
+        """
+        if num_nets < 1:
+            raise ValueError("num_nets must be >= 1")
+        client = self.client.seconds(workload.client_head_flops + workload.client_tail_flops)
+        base = self.server.seconds(workload.server_body_flops)
+        server = base * (1.0 + self.serial_fraction * (num_nets - 1))
+        comm = (self.network.uplink_seconds(workload.upload_bytes)
+                + self.network.downlink_seconds(workload.download_bytes_per_net * num_nets,
+                                                messages=num_nets))
+        return LatencyBreakdown("ensembler", client, server, comm)
+
+
+def workload_from_model(model_config, image_hw: int, batch_size: int,
+                        rng=None) -> SplitWorkload:
+    """Measure a :class:`SplitWorkload` from an actual ResNet of ours.
+
+    FLOPs are counted by running the real forward passes on a single image
+    and scaling by the batch size; wire sizes are the float32 tensor sizes
+    plus framing, exactly what :mod:`repro.ci` would transmit.
+    """
+    from repro.models.resnet import ResNet
+    from repro.nn.profiling import count_forward_flops
+    from repro.utils.rng import new_rng
+
+    rng = rng if rng is not None else new_rng(0)
+    model = ResNet(model_config, rng=rng).eval()
+    image = np.zeros((1, 3, image_hw, image_hw), dtype=np.float32)
+    head_flops = count_forward_flops(model.head, image)
+    inter_shape = model_config.intermediate_shape(image_hw)
+    features = np.zeros((1, *inter_shape), dtype=np.float32)
+    body_flops = count_forward_flops(model.body, features)
+    pooled = np.zeros((1, model_config.feature_dim), dtype=np.float32)
+    tail_flops = count_forward_flops(model.tail, pooled)
+    upload_bytes = batch_size * int(np.prod(inter_shape)) * 4 + HEADER_BYTES
+    download_bytes = batch_size * model_config.feature_dim * 4 + HEADER_BYTES
+    return SplitWorkload(
+        batch_size=batch_size,
+        client_head_flops=head_flops * batch_size,
+        client_tail_flops=tail_flops * batch_size,
+        server_body_flops=body_flops * batch_size,
+        upload_bytes=upload_bytes,
+        download_bytes_per_net=download_bytes,
+    )

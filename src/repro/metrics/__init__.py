@@ -1,0 +1,15 @@
+"""Evaluation metrics: SSIM, PSNR and accuracy (Tables I and II columns)."""
+
+from repro.metrics.accuracy import accuracy, delta_accuracy, evaluate_accuracy
+from repro.metrics.psnr import batch_psnr, psnr
+from repro.metrics.ssim import batch_ssim, ssim
+
+__all__ = [
+    "accuracy",
+    "batch_psnr",
+    "batch_ssim",
+    "delta_accuracy",
+    "evaluate_accuracy",
+    "psnr",
+    "ssim",
+]

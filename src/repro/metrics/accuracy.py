@@ -1,0 +1,45 @@
+"""Classification accuracy helpers (the ΔAcc column of Tables I and II)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.nn.tensor import Tensor, no_grad
+
+
+def accuracy(logits: np.ndarray | Tensor, labels: np.ndarray) -> float:
+    """Top-1 accuracy for logits of shape (N, C)."""
+    if isinstance(logits, Tensor):
+        logits = logits.data
+    labels = np.asarray(labels)
+    if len(logits) == 0:
+        raise ValueError("empty batch")
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def evaluate_accuracy(predict, dataset: ArrayDataset, batch_size: int = 64) -> float:
+    """Dataset accuracy of ``predict(images) -> logits`` evaluated in batches.
+
+    ``predict`` receives float32 NCHW arrays and may return either a Tensor
+    or a NumPy array of logits.
+    """
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start:start + batch_size]
+            labels = dataset.labels[start:start + batch_size]
+            logits = predict(images)
+            if isinstance(logits, Tensor):
+                logits = logits.data
+            correct += int((logits.argmax(axis=1) == labels).sum())
+    return correct / len(dataset)
+
+
+def delta_accuracy(defended: float, undefended: float) -> float:
+    """ΔAcc as reported by the paper: drop relative to the unprotected model.
+
+    Positive values mean the defense *lost* accuracy (the paper prints the
+    signed change; Table I's "Single 2.15%" row is an accuracy drop).
+    """
+    return undefended - defended

@@ -1,0 +1,30 @@
+"""Peak signal-to-noise ratio — the paper's second reconstruction metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray, data_range: float = 1.0) -> float:
+    """PSNR in dB between two images (any matching shape).
+
+    Identical images return ``inf``; lower values mean worse reconstruction
+    (better defense, in the paper's reading).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {candidate.shape}")
+    mse = float(np.mean((reference - candidate) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / mse))
+
+
+def batch_psnr(references: np.ndarray, candidates: np.ndarray, data_range: float = 1.0) -> float:
+    """Mean PSNR over a batch of NCHW images (ignoring infinite entries)."""
+    if references.shape != candidates.shape:
+        raise ValueError("batch shapes must match")
+    values = np.array([psnr(r, c, data_range) for r, c in zip(references, candidates)])
+    finite = values[np.isfinite(values)]
+    return float(finite.mean()) if len(finite) else float("inf")

@@ -1,0 +1,33 @@
+"""Model zoo: ResNets, split models, inversion decoders and shadow networks."""
+
+from repro.models.decoder import build_decoder
+from repro.models.resnet import (
+    BasicBlock,
+    ResNet,
+    ResNetBody,
+    ResNetConfig,
+    ResNetHead,
+    ResNetTail,
+    resnet8,
+    resnet10,
+    resnet18,
+)
+from repro.models.shadow import ShadowHead, build_shadow_tail
+from repro.models.split import SplitModel, client_fraction_of_parameters
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "ResNetBody",
+    "ResNetConfig",
+    "ResNetHead",
+    "ResNetTail",
+    "ShadowHead",
+    "SplitModel",
+    "build_decoder",
+    "build_shadow_tail",
+    "client_fraction_of_parameters",
+    "resnet8",
+    "resnet10",
+    "resnet18",
+]

@@ -1,0 +1,66 @@
+"""Inversion decoders ``M_c,h^{-1}``.
+
+The attacker trains a decoder that maps intermediate features back to the
+input image (Dosovitskiy & Brox, 2016; He et al., 2019).  The decoder mirrors
+the head: convolutional refinement at feature resolution, transposed-conv /
+nearest-neighbour upsampling back to image resolution, and a sigmoid so the
+output lives in the image range [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import new_rng
+
+
+def _upsample_block(in_channels: int, out_channels: int, rng: np.random.Generator,
+                    use_transposed: bool) -> list[nn.Module]:
+    if use_transposed:
+        return [
+            nn.ConvTranspose2d(in_channels, out_channels, 4, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+        ]
+    return [
+        nn.UpsampleNearest2d(2),
+        nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng),
+        nn.ReLU(),
+    ]
+
+
+def build_decoder(feature_shape: tuple[int, int, int], image_shape: tuple[int, int, int],
+                  width: int = 32, use_transposed: bool = True,
+                  rng: np.random.Generator | None = None) -> nn.Sequential:
+    """Build a decoder from ``feature_shape`` (C,H,W) to ``image_shape`` (C,H,W).
+
+    The spatial upsampling factor must be a power of two (it is 1 or 2 for
+    every split in the paper: the head either keeps resolution or max-pools
+    once).
+    """
+    rng = rng if rng is not None else new_rng()
+    feat_c, feat_h, feat_w = feature_shape
+    img_c, img_h, img_w = image_shape
+    if feat_h <= 0 or img_h % feat_h != 0:
+        raise ValueError(f"image size {img_h} must be a multiple of feature size {feat_h}")
+    factor = img_h // feat_h
+    if factor & (factor - 1):
+        raise ValueError(f"upsampling factor {factor} must be a power of two")
+    if img_w // feat_w != factor:
+        raise ValueError("anisotropic upsampling is not supported")
+
+    layers: list[nn.Module] = [
+        nn.Conv2d(feat_c, width, 3, padding=1, rng=rng),
+        nn.ReLU(),
+    ]
+    channels = width
+    while factor > 1:
+        layers.extend(_upsample_block(channels, width, rng, use_transposed))
+        factor //= 2
+    layers.extend([
+        nn.Conv2d(width, width, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(width, img_c, 3, padding=1, rng=rng),
+        nn.Sigmoid(),
+    ])
+    return nn.Sequential(*layers)

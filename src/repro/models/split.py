@@ -1,0 +1,51 @@
+"""Split-model abstraction for collaborative inference.
+
+A :class:`SplitModel` is the triple ``{M_c,h, M_s, M_c,t}`` of Section II-B:
+the client holds the head and the tail, the server holds the body.  The class
+only organises the pieces — the wire protocol lives in :mod:`repro.ci`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.resnet import ResNet, ResNetConfig
+from repro.nn.tensor import Tensor
+
+
+class SplitModel(nn.Module):
+    """A network split into client head, server body and client tail."""
+
+    def __init__(self, head: nn.Module, body: nn.Module, tail: nn.Module):
+        super().__init__()
+        self.head = head
+        self.body = body
+        self.tail = tail
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.tail(self.body(self.head(x)))
+
+    def client_parameters(self) -> list[nn.Parameter]:
+        """Parameters the client owns (head + tail)."""
+        return self.head.parameters() + self.tail.parameters()
+
+    def server_parameters(self) -> list[nn.Parameter]:
+        """Parameters deployed on (and therefore known to) the server."""
+        return self.body.parameters()
+
+    def intermediate(self, x: Tensor) -> Tensor:
+        """The features ``M_c,h(x)`` the client would transmit."""
+        return self.head(x)
+
+    @classmethod
+    def from_resnet(cls, model: ResNet) -> "SplitModel":
+        """Split a ResNet at the paper's h=1 / t=1 points."""
+        return cls(model.head, model.body, model.tail)
+
+
+def client_fraction_of_parameters(model: SplitModel) -> float:
+    """Fraction of weights held by the client — small by design (Section I)."""
+    client = sum(p.size for p in model.client_parameters())
+    total = client + sum(p.size for p in model.server_parameters())
+    return client / total

@@ -1,0 +1,52 @@
+"""FLOP accounting for the latency model.
+
+A :class:`FlopCounter` context activates a global counter that instrumented
+operations (convolution, linear, batch-norm, pooling) report into.  Counting
+happens on the *real* executed graph, so arbitrary module compositions
+(residual blocks, ensembles) are handled without per-module bookkeeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_active_counter: "FlopCounter | None" = None
+
+
+class FlopCounter:
+    """Accumulates floating-point operations while active."""
+
+    def __init__(self):
+        self.total = 0
+        self.by_kind: dict[str, int] = {}
+
+    def add(self, kind: str, flops: int) -> None:
+        self.total += flops
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + flops
+
+    def __enter__(self) -> "FlopCounter":
+        global _active_counter
+        if _active_counter is not None:
+            raise RuntimeError("FlopCounter contexts cannot nest")
+        _active_counter = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _active_counter
+        _active_counter = None
+
+
+def record(kind: str, flops: int) -> None:
+    """Report ``flops`` to the active counter, if any (hot-path safe)."""
+    if _active_counter is not None:
+        _active_counter.add(kind, int(flops))
+
+
+def count_forward_flops(module, images) -> int:
+    """FLOPs of one forward pass of ``module`` on ``images`` (NCHW array)."""
+    from repro.nn.tensor import Tensor, no_grad
+
+    with FlopCounter() as counter:
+        with no_grad():
+            module(Tensor(images))
+    return counter.total

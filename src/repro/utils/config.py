@@ -1,0 +1,31 @@
+"""Small immutable configuration helper used across experiment code."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+
+class FrozenConfig:
+    """Base class for frozen dataclass configs with dict round-tripping.
+
+    Subclasses are expected to be decorated with
+    ``@dataclasses.dataclass(frozen=True)``.  The helpers here keep the
+    experiment layer honest: configs serialise to plain dicts for logging and
+    can be rebuilt with overrides without mutating the original.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the config as a plain dictionary (recursively)."""
+        return dataclasses.asdict(self)  # type: ignore[arg-type]
+
+    def replace(self, **overrides: Any) -> "FrozenConfig":
+        """Return a copy with ``overrides`` applied."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_dict(cls, values: dict[str, Any]) -> "FrozenConfig":
+        """Build a config from a dictionary, ignoring unknown keys."""
+        field_names = {f.name for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        known = {k: v for k, v in values.items() if k in field_names}
+        return cls(**known)

@@ -1,0 +1,36 @@
+"""Library logging setup.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so that applications control output.  ``get_logger`` is the
+single entry point used by all subpackages.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_ROOT = "repro"
+
+logging.getLogger(_LIBRARY_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root."""
+    if name.startswith(_LIBRARY_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the library root (idempotent).
+
+    Used by example scripts and the benchmark harness; tests leave logging
+    silent.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,50 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives.
+
+The training stages of Ensembler are expensive relative to inference, so the
+defense artifacts (stage-1 nets, the stage-3 head/tail, noise maps) need to
+be persistable.  NumPy's ``.npz`` container round-trips every parameter and
+buffer exactly; the client-secret selector indices are deliberately *not*
+serialised by :func:`save_module` — persisting the secret is the caller's
+decision (see :func:`save_selector`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.selector import Selector
+from repro.nn.modules import Module
+
+
+def save_module(module: Module, path: str | pathlib.Path) -> None:
+    """Write a module's parameters and buffers to ``path`` (.npz)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | pathlib.Path) -> Module:
+    """Load a state dict saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def save_selector(selector: Selector, path: str | pathlib.Path) -> None:
+    """Persist the client's secret selector.
+
+    Store this only on the client: anyone holding this file can break the
+    defense (the whole point of Ensembler is that the server never sees it).
+    """
+    np.savez(path, num_nets=np.int64(selector.num_nets),
+             indices=np.asarray(selector.indices, dtype=np.int64))
+
+
+def load_selector(path: str | pathlib.Path) -> Selector:
+    """Load a selector saved by :func:`save_selector`."""
+    with np.load(path) as archive:
+        num_nets = int(archive["num_nets"])
+        indices = tuple(int(i) for i in archive["indices"])
+    return Selector(num_nets, indices)

@@ -1,0 +1,6 @@
+"""Pytest configuration: registers the ``slow`` marker used by the heavier
+integration tests (full table regenerations at the tiny preset)."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: heavier end-to-end experiment tests")

@@ -1,0 +1,172 @@
+"""Tests for the model-inversion attack machinery."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackConfig,
+    InversionAttack,
+    ReconstructionMetrics,
+    best_single_net,
+    brute_force_attack,
+    evaluate_reconstruction,
+    expected_attack_work,
+    run_adaptive_attack,
+    run_single_net_attacks,
+)
+from repro.attacks.evaluation import observe_victim_traffic
+from repro.core import EnsemblerConfig, TrainingConfig
+from repro.data import cifar10_like
+from repro.defenses import fit_ensembler, fit_no_defense
+from repro.models import ResNetConfig
+from repro.utils.rng import new_rng
+
+TINY_MODEL = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                          blocks_per_stage=(1, 1), use_maxpool=True)
+TINY_TRAIN = TrainingConfig(epochs=2, batch_size=16, lr=0.05)
+TINY_ATTACK = AttackConfig(
+    shadow=TrainingConfig(epochs=2, batch_size=16, lr=2e-3, optimizer="adam"),
+    decoder=TrainingConfig(epochs=2, batch_size=16, lr=3e-3, optimizer="adam"),
+    decoder_width=16)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return cifar10_like(size=16, train_per_class=8, test_per_class=4, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def victim(bundle):
+    return fit_no_defense(bundle, TINY_MODEL, training=TINY_TRAIN, rng=new_rng(0))
+
+
+@pytest.fixture(scope="module")
+def attack(bundle):
+    return InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                           rng=new_rng(1))
+
+
+class TestInversionAttack:
+    def test_requires_bodies(self, attack):
+        with pytest.raises(ValueError):
+            attack.train_shadow([])
+
+    def test_observe_traffic_requires_nchw(self, attack):
+        with pytest.raises(ValueError):
+            attack.observe_traffic(np.zeros((4, 8)))
+
+    def test_artifacts_reconstruct_shape(self, victim, attack, bundle):
+        artifacts = attack.attack_single(victim.bodies[0])
+        probe = bundle.test.images[:4]
+        recon = artifacts.reconstruct(victim.intermediate(probe))
+        assert recon.shape == probe.shape
+        assert recon.min() >= 0.0 and recon.max() <= 1.0
+
+    def test_single_attack_name_carries_index(self, victim, attack):
+        artifacts = attack.attack_single(victim.bodies[0], index=5)
+        assert artifacts.name == "single[5]"
+        assert artifacts.details["body_index"] == 5
+
+    def test_bn_record_flags_restored(self, victim, attack):
+        from repro import nn
+        attack.attack_single(victim.bodies[0])
+        for module in victim.bodies[0].modules():
+            if isinstance(module, nn.BatchNorm2d):
+                assert not module.record_batch_stats
+
+    def test_shadow_mode_paper_uses_three_convs(self, bundle, victim):
+        from repro import nn
+        config = AttackConfig(shadow=TINY_ATTACK.shadow, decoder=TINY_ATTACK.decoder,
+                              decoder_width=16, shadow_mode="paper")
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, config,
+                                 rng=new_rng(2))
+        shadow = attack.train_shadow([victim.bodies[0]])
+        convs = [m for m in shadow.modules() if isinstance(m, nn.Conv2d)]
+        assert len(convs) == 3
+
+    def test_unknown_shadow_mode_rejected(self, bundle, victim):
+        config = AttackConfig(shadow_mode="mystery")
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, config,
+                                 rng=new_rng(2))
+        with pytest.raises(ValueError):
+            attack.train_shadow([victim.bodies[0]])
+
+
+class TestEvaluation:
+    def test_evaluate_reconstruction_fields(self, victim, attack, bundle):
+        artifacts = attack.attack_single(victim.bodies[0])
+        metrics = evaluate_reconstruction(victim, artifacts, bundle.test.images[:4])
+        assert -1.0 <= metrics.ssim <= 1.0
+        assert np.isfinite(metrics.psnr)
+
+    def test_run_single_net_attacks_one_per_body(self, bundle):
+        config = EnsemblerConfig(num_nets=2, num_active=1, sigma=0.1, lambda_reg=1.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        defense = fit_ensembler(bundle, TINY_MODEL, config=config, rng=new_rng(3))
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                                 rng=new_rng(4))
+        results = run_single_net_attacks(defense, attack, bundle.test.images[:4],
+                                         traffic_images=bundle.train.images[:16])
+        assert len(results) == 2
+
+    def test_adaptive_attack_runs(self, bundle):
+        config = EnsemblerConfig(num_nets=2, num_active=1, sigma=0.1, lambda_reg=1.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        defense = fit_ensembler(bundle, TINY_MODEL, config=config, rng=new_rng(5))
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                                 rng=new_rng(6))
+        metrics = run_adaptive_attack(defense, attack, bundle.test.images[:4],
+                                      traffic_images=bundle.train.images[:16])
+        assert metrics.attack_name == "adaptive"
+
+    def test_best_single_net_reductions(self):
+        results = [ReconstructionMetrics("a", 0.2, 10.0),
+                   ReconstructionMetrics("b", 0.5, 8.0),
+                   ReconstructionMetrics("c", 0.3, 12.0)]
+        assert best_single_net(results, "ssim").attack_name == "b"
+        assert best_single_net(results, "psnr").attack_name == "c"
+
+    def test_best_single_net_validation(self):
+        with pytest.raises(ValueError):
+            best_single_net([], "ssim")
+        with pytest.raises(ValueError):
+            best_single_net([ReconstructionMetrics("a", 0.1, 1.0)], "mse")
+
+    def test_stronger_than(self):
+        strong = ReconstructionMetrics("s", 0.9, 30.0)
+        weak = ReconstructionMetrics("w", 0.1, 10.0)
+        assert strong.stronger_than(weak)
+        assert not weak.stronger_than(strong)
+
+    def test_observe_victim_traffic_sets_stats(self, victim, bundle):
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                                 rng=new_rng(7))
+        observe_victim_traffic(victim, attack, bundle.train.images[:16])
+        assert attack._observed_mean is not None
+        assert attack._observed_gram is not None
+
+
+class TestBruteForce:
+    def test_expected_work_is_exponential(self):
+        assert expected_attack_work(10) == 1023.0
+        assert expected_attack_work(10, known_p=4) == 210.0
+
+    def test_brute_force_enumerates_known_p(self, bundle):
+        config = EnsemblerConfig(num_nets=3, num_active=2, sigma=0.1, lambda_reg=1.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        defense = fit_ensembler(bundle, TINY_MODEL, config=config, rng=new_rng(8))
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                                 rng=new_rng(9))
+        outcome = brute_force_attack(defense, attack, bundle.test.images[:2], known_p=2)
+        assert outcome.search_space == 3
+        assert outcome.subsets_tried == 3
+        subset, metrics = outcome.best("ssim")
+        assert len(subset) == 2
+
+    def test_brute_force_truncation(self, bundle, victim):
+        attack = InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                                 rng=new_rng(10))
+        outcome = brute_force_attack(victim, attack, bundle.test.images[:2],
+                                     max_subsets=1)
+        assert outcome.subsets_tried == 1
+        assert outcome.search_space == 1  # single body: 2^1 - 1

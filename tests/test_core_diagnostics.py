@@ -1,0 +1,89 @@
+"""Tests for the mechanism diagnostics (head-similarity analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnsemblerConfig,
+    EnsemblerTrainer,
+    TrainingConfig,
+    head_similarity,
+    head_similarity_matrix,
+    mechanism_report,
+)
+from repro.data import cifar10_like
+from repro.models import ResNetConfig
+from repro.models.resnet import ResNetHead
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(81)
+
+MODEL = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                     blocks_per_stage=(1, 1), use_maxpool=True)
+
+
+def images(n=8):
+    return rng.random((n, 3, 16, 16)).astype(np.float32)
+
+
+class TestHeadSimilarity:
+    def test_self_similarity_is_one(self):
+        head = ResNetHead(MODEL, new_rng(0)).eval()
+        assert head_similarity(head, head, images()) == pytest.approx(1.0, abs=1e-5)
+
+    def test_independent_heads_less_similar_than_self(self):
+        a = ResNetHead(MODEL, new_rng(1)).eval()
+        b = ResNetHead(MODEL, new_rng(2)).eval()
+        assert head_similarity(a, b, images()) < 0.99
+
+    def test_symmetry(self):
+        a = ResNetHead(MODEL, new_rng(3)).eval()
+        b = ResNetHead(MODEL, new_rng(4)).eval()
+        x = images()
+        assert head_similarity(a, b, x) == pytest.approx(head_similarity(b, a, x), abs=1e-6)
+
+    def test_standardize_changes_score(self):
+        a = ResNetHead(MODEL, new_rng(5)).eval()
+        b = ResNetHead(MODEL, new_rng(6)).eval()
+        x = images()
+        raw = head_similarity(a, b, x, standardize=False)
+        std = head_similarity(a, b, x, standardize=True)
+        assert raw != pytest.approx(std, abs=1e-6)
+
+    def test_matrix_shape_and_diagonal(self):
+        heads = [ResNetHead(MODEL, new_rng(i)).eval() for i in range(3)]
+        matrix = head_similarity_matrix(heads, images())
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+
+class TestMechanismReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        bundle = cifar10_like(size=16, train_per_class=8, test_per_class=4, num_classes=4)
+        train = TrainingConfig(epochs=2, batch_size=16, lr=0.05)
+        config = EnsemblerConfig(num_nets=3, num_active=2, sigma=0.1, lambda_reg=1.0,
+                                 stage1=train, stage3=train)
+        trainer = EnsemblerTrainer(MODEL, 16, config, rng=new_rng(0))
+        return trainer.train(bundle.train), bundle
+
+    def test_report_shapes(self, result):
+        training, bundle = result
+        report = mechanism_report(training, bundle.test.images[:8])
+        assert report.stage1_pairwise.shape == (3, 3)
+        assert report.stage3_vs_stage1.shape == (3,)
+        assert report.selected_indices == training.selector.indices
+
+    def test_summary_mentions_both_quantities(self, result):
+        training, bundle = result
+        report = mechanism_report(training, bundle.test.images[:8])
+        text = report.summary()
+        assert "stage-1" in text and "stage-3" in text
+
+    def test_stage3_less_similar_than_identical(self, result):
+        """The regularised stage-3 head must not coincide with any stage-1
+        head (similarity strictly below self-similarity)."""
+        training, bundle = result
+        report = mechanism_report(training, bundle.test.images[:8])
+        assert report.max_stage3_vs_selected < 0.999

@@ -1,0 +1,172 @@
+"""Tests for the Selector (Eq. 1) and the split-point noise layers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.noise import FixedGaussianNoise, FreshGaussianNoise
+from repro.core.selector import Selector, brute_force_search_space, enumerate_subsets
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(51)
+
+
+def feature_list(num=4, batch=2, dim=3):
+    return [Tensor(rng.random((batch, dim)).astype(np.float32)) for _ in range(num)]
+
+
+class TestSelector:
+    def test_concat_shape(self):
+        selector = Selector(4, (0, 2))
+        out = selector(feature_list(4, batch=2, dim=3))
+        assert out.shape == (2, 6)
+
+    def test_normalisation_is_one_over_p(self):
+        features = [Tensor(np.ones((1, 2), dtype=np.float32) * (i + 1)) for i in range(3)]
+        selector = Selector(3, (0, 2))
+        out = selector(features)
+        # S_i = 1/2: picks features 0 (value 1) and 2 (value 3).
+        np.testing.assert_allclose(out.data, [[0.5, 0.5, 1.5, 1.5]])
+
+    def test_apply_subset_matches_full(self):
+        features = feature_list(4)
+        selector = Selector(4, (1, 3))
+        full = selector(features)
+        subset = selector.apply_subset([features[1], features[3]])
+        np.testing.assert_array_equal(full.data, subset.data)
+
+    def test_indices_sorted_and_deduped_rejected(self):
+        assert Selector(5, (3, 1)).indices == (1, 3)
+        with pytest.raises(ValueError):
+            Selector(5, (1, 1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Selector(3, (0, 3))
+        with pytest.raises(ValueError):
+            Selector(3, (-1,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Selector(3, ())
+
+    def test_wrong_arity_call_rejected(self):
+        selector = Selector(4, (0,))
+        with pytest.raises(ValueError):
+            selector(feature_list(3))
+        with pytest.raises(ValueError):
+            selector.apply_subset(feature_list(2))
+
+    def test_random_respects_bounds(self):
+        for _ in range(10):
+            selector = Selector.random(6, 3, new_rng())
+            assert selector.num_active == 3
+            assert all(0 <= i < 6 for i in selector.indices)
+
+    def test_random_invalid_p(self):
+        with pytest.raises(ValueError):
+            Selector.random(4, 0)
+        with pytest.raises(ValueError):
+            Selector.random(4, 5)
+
+    def test_random_is_deterministic_given_rng(self):
+        a = Selector.random(8, 3, new_rng(7))
+        b = Selector.random(8, 3, new_rng(7))
+        assert a.indices == b.indices
+
+    def test_repr_does_not_leak_secret(self):
+        selector = Selector(10, (2, 5, 7))
+        assert "2" not in repr(selector).replace("10", "").replace("num_active=3", "")
+        assert "num_nets=10" in repr(selector)
+
+    def test_gradient_flows_through_selected_only(self):
+        features = [Tensor(np.ones((1, 2)), requires_grad=True, dtype=np.float64)
+                    for _ in range(3)]
+        selector = Selector(3, (0, 2))
+        selector(features).sum().backward()
+        assert features[0].grad is not None
+        assert features[1].grad is None
+        assert features[2].grad is not None
+
+
+class TestSearchSpace:
+    def test_all_subsets(self):
+        assert brute_force_search_space(4) == 15
+        assert brute_force_search_space(10) == 1023
+
+    def test_known_p(self):
+        assert brute_force_search_space(10, 4) == math.comb(10, 4)
+
+    def test_enumeration_matches_count(self):
+        assert len(list(enumerate_subsets(4))) == 15
+        assert len(list(enumerate_subsets(5, 2))) == 10
+
+    def test_enumeration_is_deterministic(self):
+        assert list(enumerate_subsets(4, 2)) == list(enumerate_subsets(4, 2))
+
+
+class TestNoiseLayers:
+    def test_fixed_noise_is_constant_across_calls(self):
+        noise = FixedGaussianNoise((2, 4, 4), 0.1, new_rng(0))
+        x = Tensor(np.zeros((3, 2, 4, 4), dtype=np.float32))
+        np.testing.assert_array_equal(noise(x).data, noise(x).data)
+
+    def test_fixed_noise_broadcasts_over_batch(self):
+        noise = FixedGaussianNoise((2, 4, 4), 0.1, new_rng(0))
+        x = Tensor(np.zeros((3, 2, 4, 4), dtype=np.float32))
+        out = noise(x).data
+        np.testing.assert_array_equal(out[0], out[1])
+
+    def test_fixed_noise_scale(self):
+        noise = FixedGaussianNoise((64, 16, 16), 0.1, new_rng(0))
+        assert noise.noise.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_fixed_noise_in_state_dict(self):
+        noise = FixedGaussianNoise((2, 2, 2), 0.1, new_rng(0))
+        assert "noise" in noise.state_dict()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            FixedGaussianNoise((1, 1, 1), -0.1)
+        with pytest.raises(ValueError):
+            FreshGaussianNoise(-1.0)
+
+    def test_independent_draws_are_quasi_orthogonal(self):
+        """Section III-C's premise: independently drawn noise maps are
+        nearly orthogonal in high dimension."""
+        base = new_rng(3)
+        maps = [FixedGaussianNoise((64, 16, 16), 0.1, new_rng(i)).noise.reshape(-1)
+                for i in range(5)]
+        for i in range(5):
+            for j in range(i + 1, 5):
+                cos = abs(np.dot(maps[i], maps[j])
+                          / (np.linalg.norm(maps[i]) * np.linalg.norm(maps[j])))
+                assert cos < 0.05
+
+    def test_fresh_noise_differs_across_calls(self):
+        noise = FreshGaussianNoise(0.1, new_rng(0))
+        x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        assert not np.array_equal(noise(x).data, noise(x).data)
+
+    def test_fresh_noise_zero_sigma_identity(self):
+        noise = FreshGaussianNoise(0.0, new_rng(0))
+        x = Tensor(rng.random((1, 2, 4, 4)).astype(np.float32))
+        np.testing.assert_array_equal(noise(x).data, x.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_nets=st.integers(1, 10), seed=st.integers(0, 1000))
+def test_property_selector_output_width(num_nets, seed):
+    """Selector output width is always P * feature_dim, scaled by 1/P."""
+    local = np.random.default_rng(seed)
+    num_active = int(local.integers(1, num_nets + 1))
+    selector = Selector.random(num_nets, num_active, np.random.default_rng(seed))
+    dim = 3
+    features = [Tensor(np.ones((1, dim), dtype=np.float32)) for _ in range(num_nets)]
+    out = selector(features)
+    assert out.shape == (1, num_active * dim)
+    np.testing.assert_allclose(out.data, 1.0 / num_active)

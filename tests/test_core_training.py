@@ -1,0 +1,210 @@
+"""Tests for the Ensembler model and the three-stage trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    EnsemblerConfig,
+    EnsemblerModel,
+    EnsemblerTrainer,
+    FixedGaussianNoise,
+    Selector,
+    TrainingConfig,
+)
+from repro.core.training import run_sgd
+from repro.data import cifar10_like
+from repro.models import ResNet, ResNetConfig
+from repro.models.resnet import ResNetHead, ResNetTail
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(61)
+
+TINY_MODEL = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                          blocks_per_stage=(1, 1), use_maxpool=True)
+TINY_TRAIN = TrainingConfig(epochs=2, batch_size=16, lr=0.05)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return cifar10_like(size=16, train_per_class=8, test_per_class=4, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def trained(bundle):
+    config = EnsemblerConfig(num_nets=3, num_active=2, sigma=0.1, lambda_reg=1.0,
+                             stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+    trainer = EnsemblerTrainer(TINY_MODEL, 16, config, rng=new_rng(0))
+    return trainer.train(bundle.train)
+
+
+class TestConfigs:
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(momentum=1.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="rmsprop")
+
+    def test_ensembler_config_validation(self):
+        with pytest.raises(ValueError):
+            EnsemblerConfig(num_nets=3, num_active=4)
+        with pytest.raises(ValueError):
+            EnsemblerConfig(sigma=-0.1)
+        with pytest.raises(ValueError):
+            EnsemblerConfig(lambda_reg=-1.0)
+
+    def test_build_optimizer_kinds(self):
+        layer = nn.Linear(2, 2, rng=new_rng(0))
+        assert isinstance(TrainingConfig(optimizer="adam").build_optimizer(layer.parameters()),
+                          nn.Adam)
+        assert isinstance(TrainingConfig(optimizer="sgd").build_optimizer(layer.parameters()),
+                          nn.SGD)
+
+    def test_config_replace(self):
+        config = EnsemblerConfig(num_nets=4, num_active=2)
+        assert config.replace(num_active=3).num_active == 3
+        assert config.num_active == 2  # original untouched
+
+
+class TestRunSgd:
+    def test_loss_decreases(self, bundle):
+        net = ResNet(TINY_MODEL, rng=new_rng(1))
+
+        def loss_fn(images, labels):
+            return F.cross_entropy(net(Tensor(images)), labels)
+
+        history = run_sgd(net.parameters(), loss_fn,
+                          bundle.train, TrainingConfig(epochs=4, batch_size=16, lr=0.05),
+                          new_rng(2))
+        assert len(history) == 4
+        assert history[-1] < history[0]
+
+
+class TestEnsemblerModel:
+    def make_model(self, num_nets=3, num_active=2):
+        nets = [ResNet(TINY_MODEL, rng=new_rng(i)) for i in range(num_nets)]
+        for net in nets:
+            net.eval()
+        selector = Selector(num_nets, tuple(range(num_active)))
+        head = ResNetHead(TINY_MODEL, new_rng(10))
+        tail = ResNetTail(TINY_MODEL, new_rng(11), in_multiplier=num_active)
+        noise = FixedGaussianNoise(TINY_MODEL.intermediate_shape(16), 0.1, new_rng(12))
+        model = EnsemblerModel(head, [n.body for n in nets], tail, selector, noise)
+        return model.eval()
+
+    def test_arity_mismatch_rejected(self):
+        nets = [ResNet(TINY_MODEL, rng=new_rng(i)) for i in range(2)]
+        selector = Selector(3, (0, 1))
+        with pytest.raises(ValueError):
+            EnsemblerModel(ResNetHead(TINY_MODEL, new_rng(0)),
+                           [n.body for n in nets],
+                           ResNetTail(TINY_MODEL, new_rng(1), in_multiplier=2),
+                           selector, nn.Identity())
+
+    def test_forward_shape(self):
+        model = self.make_model()
+        with no_grad():
+            out = model(Tensor(rng.random((2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 4)
+
+    def test_forward_matches_full_protocol(self):
+        """Client shortcut (selected bodies only) == full N-body protocol."""
+        model = self.make_model()
+        x = Tensor(rng.random((2, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(model(x).data, model.forward_full_protocol(x).data,
+                                       rtol=1e-5)
+
+    def test_server_outputs_all_nets(self):
+        model = self.make_model(num_nets=3)
+        with no_grad():
+            features = model.intermediate(Tensor(rng.random((1, 3, 16, 16)).astype(np.float32)))
+            outputs = model.server_outputs(features)
+        assert len(outputs) == 3
+
+    def test_parameter_partition(self):
+        model = self.make_model()
+        client = {id(p) for p in model.client_parameters()}
+        server = {id(p) for p in model.server_parameters()}
+        assert not client & server
+
+
+class TestThreeStageTraining:
+    def test_stage1_produces_n_distinct_nets(self, trained):
+        assert len(trained.stage1_nets) == 3
+        assert len(trained.stage1_noises) == 3
+        # The noises are distinct fixed maps.
+        flat = [n.noise.reshape(-1) for n in trained.stage1_noises]
+        assert not np.array_equal(flat[0], flat[1])
+
+    def test_stage1_losses_decrease(self, trained):
+        for history in trained.stage1_history:
+            assert history[-1] <= history[0]
+
+    def test_selector_matches_config(self, trained):
+        assert trained.selector.num_nets == 3
+        assert trained.selector.num_active == 2
+
+    def test_stage3_model_uses_all_bodies(self, trained):
+        assert trained.model.num_nets == 3
+
+    def test_stage3_bodies_are_frozen_stage1_bodies(self, trained):
+        for net, body in zip(trained.stage1_nets, trained.model.bodies):
+            assert body is net.body
+            assert all(not p.requires_grad for p in body.parameters())
+
+    def test_stage3_head_differs_from_stage1_heads(self, trained):
+        """The re-trained head must not equal any stage-1 head (the whole
+        point of the quasi-orthogonality regulariser)."""
+        new_head = trained.model.head
+        x = Tensor(rng.random((4, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            new_out = new_head(x).data.reshape(4, -1)
+            for net in trained.stage1_nets:
+                old_out = net.head(x).data.reshape(4, -1)
+                cos = np.abs((new_out * old_out).sum(axis=1)
+                             / (np.linalg.norm(new_out, axis=1)
+                                * np.linalg.norm(old_out, axis=1) + 1e-8))
+                assert cos.mean() < 0.95
+
+    def test_stage3_tail_width(self, trained):
+        assert trained.model.tail.fc.weight.shape[1] == 2 * TINY_MODEL.feature_dim
+
+    def test_model_predicts(self, trained, bundle):
+        trained.model.eval()
+        with no_grad():
+            logits = trained.model(Tensor(bundle.test.images[:4]))
+        assert logits.shape == (4, 4)
+
+    def test_lambda_zero_skips_regulariser(self, bundle):
+        config = EnsemblerConfig(num_nets=2, num_active=1, sigma=0.1, lambda_reg=0.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        trainer = EnsemblerTrainer(TINY_MODEL, 16, config, rng=new_rng(5))
+        result = trainer.train(bundle.train)
+        assert result.model.num_nets == 2
+
+    def test_custom_noise_factory(self, bundle):
+        from repro.defenses.base import AlwaysOnDropout
+        config = EnsemblerConfig(num_nets=2, num_active=1, sigma=0.0, lambda_reg=0.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        trainer = EnsemblerTrainer(
+            TINY_MODEL, 16, config, rng=new_rng(6),
+            noise_factory=lambda shape, noise_rng: AlwaysOnDropout(0.2, noise_rng))
+        result = trainer.train(bundle.train)
+        assert isinstance(result.model.noise, AlwaysOnDropout)
+
+    def test_deterministic_given_seed(self, bundle):
+        config = EnsemblerConfig(num_nets=2, num_active=1, sigma=0.1, lambda_reg=1.0,
+                                 stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+        a = EnsemblerTrainer(TINY_MODEL, 16, config, rng=new_rng(9)).train(bundle.train)
+        b = EnsemblerTrainer(TINY_MODEL, 16, config, rng=new_rng(9)).train(bundle.train)
+        assert a.selector.indices == b.selector.indices
+        x = Tensor(bundle.test.images[:2])
+        a.model.eval()
+        b.model.eval()
+        with no_grad():
+            np.testing.assert_array_equal(a.model(x).data, b.model(x).data)

@@ -1,0 +1,167 @@
+"""Tests for datasets, loaders and the procedural generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    DatasetBundle,
+    celeba_hq_like,
+    cifar10_like,
+    cifar100_like,
+    make_face_identification,
+    make_pattern_classification,
+)
+
+rng = np.random.default_rng(21)
+
+
+def small_dataset(n=10, size=8, classes=3):
+    images = rng.random((n, 3, size, size)).astype(np.float32)
+    labels = rng.integers(0, classes, n)
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = small_dataset(n=7)
+        assert len(ds) == 7
+        image, label = ds[2]
+        assert image.shape == (3, 8, 8)
+        assert isinstance(label, int)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 3, 4, 4)), np.zeros(2))
+
+    def test_non_nchw_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 4, 4)), np.zeros(3))
+
+    def test_subset(self):
+        ds = small_dataset(n=10)
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.images[1], ds.images[5])
+
+    def test_dtype_coercion(self):
+        ds = ArrayDataset(np.zeros((2, 1, 4, 4), dtype=np.float64), np.zeros(2, dtype=np.int32))
+        assert ds.images.dtype == np.float32
+        assert ds.labels.dtype == np.int64
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(small_dataset(n=10), batch_size=4)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        loader = DataLoader(small_dataset(n=10), batch_size=4, drop_last=True)
+        assert len(loader) == 2
+        assert [len(b[0]) for b in loader] == [4, 4]
+
+    def test_len_matches_iteration(self):
+        loader = DataLoader(small_dataset(n=10), batch_size=3)
+        assert len(loader) == len(list(loader))
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = small_dataset(n=32)
+        loader = DataLoader(ds, batch_size=32, shuffle=True, rng=np.random.default_rng(0))
+        (images, labels), = list(loader)
+        assert not np.array_equal(images, ds.images)  # order changed
+        assert sorted(labels.tolist()) == sorted(ds.labels.tolist())
+
+    def test_no_shuffle_preserves_order(self):
+        ds = small_dataset(n=8)
+        loader = DataLoader(ds, batch_size=8)
+        (images, _), = list(loader)
+        np.testing.assert_array_equal(images, ds.images)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset(), batch_size=0)
+
+
+class TestPatternGenerator:
+    def test_shapes_and_range(self):
+        ds = make_pattern_classification(4, 5, 16, np.random.default_rng(0))
+        assert ds.images.shape == (20, 3, 16, 16)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_all_classes_present(self):
+        ds = make_pattern_classification(5, 3, 16, np.random.default_rng(0))
+        assert set(ds.labels.tolist()) == set(range(5))
+
+    def test_instances_differ_within_class(self):
+        ds = make_pattern_classification(1, 2, 16, np.random.default_rng(0))
+        assert not np.array_equal(ds.images[0], ds.images[1])
+
+    def test_classes_are_separable_by_template_matching(self):
+        """Nearest-class-mean classification must beat chance by a wide margin
+        — this is the property that makes ΔAcc meaningful."""
+        gen = np.random.default_rng(0)
+        train = make_pattern_classification(4, 20, 16, gen, seed=9)
+        test = make_pattern_classification(4, 10, 16, gen, seed=9)
+        means = np.stack([train.images[train.labels == c].mean(axis=0) for c in range(4)])
+        flat_means = means.reshape(4, -1)
+        flat_test = test.images.reshape(len(test), -1)
+        distances = ((flat_test[:, None, :] - flat_means[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        assert (predictions == test.labels).mean() > 0.8
+
+    def test_deterministic_given_seed(self):
+        a = make_pattern_classification(2, 3, 8, np.random.default_rng(5), seed=1)
+        b = make_pattern_classification(2, 3, 8, np.random.default_rng(5), seed=1)
+        np.testing.assert_array_equal(a.images, b.images)
+
+
+class TestFaceGenerator:
+    def test_shapes_and_range(self):
+        ds = make_face_identification(3, 4, 32, np.random.default_rng(0))
+        assert ds.images.shape == (12, 3, 32, 32)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_identities_distinct(self):
+        ds = make_face_identification(2, 8, 32, np.random.default_rng(0))
+        mean_a = ds.images[ds.labels == 0].mean(axis=0)
+        mean_b = ds.images[ds.labels == 1].mean(axis=0)
+        assert np.abs(mean_a - mean_b).mean() > 0.01
+
+
+class TestBundles:
+    def test_cifar10_like_defaults(self):
+        bundle = cifar10_like(size=16, train_per_class=2, test_per_class=1)
+        assert bundle.num_classes == 10
+        assert bundle.image_shape == (3, 16, 16)
+        assert len(bundle.train) == 20
+        assert len(bundle.test) == 10
+
+    def test_cifar100_like_has_100_classes(self):
+        bundle = cifar100_like(size=16, train_per_class=1, test_per_class=1)
+        assert bundle.num_classes == 100
+        assert set(bundle.train.labels.tolist()) == set(range(100))
+
+    def test_celeba_like_shape(self):
+        bundle = celeba_hq_like(size=32, num_identities=4, train_per_identity=2,
+                                test_per_identity=1)
+        assert bundle.image_shape == (3, 32, 32)
+        assert bundle.num_classes == 4
+
+    def test_bundle_validates_shapes(self):
+        ds = small_dataset(n=4, size=8)
+        with pytest.raises(ValueError):
+            DatasetBundle("bad", ds, ds, 3, (3, 16, 16))
+
+
+@settings(max_examples=10, deadline=None)
+@given(classes=st.integers(2, 6), per_class=st.integers(1, 4), seed=st.integers(0, 100))
+def test_property_generator_counts(classes, per_class, seed):
+    """Every generated dataset has exactly classes*per_class balanced samples."""
+    ds = make_pattern_classification(classes, per_class, 8, np.random.default_rng(seed))
+    assert len(ds) == classes * per_class
+    counts = np.bincount(ds.labels, minlength=classes)
+    assert (counts == per_class).all()

@@ -1,0 +1,180 @@
+"""Edge-case coverage across the library surface.
+
+Behaviours that the main suites exercise only implicitly: dtype promotion,
+gradient flow through uncommon op combinations, optimiser corner settings,
+and defensive validation paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(91)
+
+
+class TestTensorEdgeCases:
+    def test_astype_roundtrip_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True, dtype=np.float64)
+        out = a.astype(np.float32).astype(np.float64)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_tensor_from_tensor_shares_nothing_on_copy(self):
+        a = Tensor([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == pytest.approx(1.0)
+
+    def test_tensor_wrapping_tensor_takes_data(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor(a)
+        assert not b.requires_grad
+        np.testing.assert_array_equal(b.data, a.data)
+
+    def test_int_array_preserved(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.int64
+
+    def test_scalar_tensor_len_raises(self):
+        with pytest.raises(TypeError):
+            len(Tensor(1.0))
+
+    def test_getitem_single_element_grad(self):
+        a = Tensor(np.arange(4, dtype=np.float64), requires_grad=True, dtype=np.float64)
+        a[2].backward()
+        np.testing.assert_allclose(a.grad, [0, 0, 1, 0])
+
+    def test_chained_views_backprop(self):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True, dtype=np.float64)
+        out = a.transpose(1, 0, 2).reshape(3, 8)[1:].sum()
+        out.backward()
+        assert a.grad is not None
+        assert a.grad.shape == a.shape
+
+    def test_where_with_scalar_branches(self):
+        from repro.nn.tensor import where
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([0.0, 0.0]))
+        np.testing.assert_array_equal(out.data, [1.0, 0.0])
+
+
+class TestFunctionalEdgeCases:
+    def test_conv_1x1_kernel(self):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)), dtype=np.float64)
+        w = Tensor(rng.normal(size=(2, 4, 1, 1)), dtype=np.float64)
+        out = F.conv2d(x, w)
+        assert out.shape == (1, 2, 5, 5)
+        # 1x1 conv == per-pixel linear map.
+        expected = np.einsum("oc,nchw->nohw", w.data[:, :, 0, 0], x.data)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-8)
+
+    def test_conv_batch_of_one(self):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)), dtype=np.float64)
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)), dtype=np.float64)
+        assert F.conv2d(x, w, padding=1).shape == (1, 1, 4, 4)
+
+    def test_max_pool_kernel_equals_input(self):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)), dtype=np.float64)
+        out = F.max_pool2d(x, 4)
+        assert out.shape == (1, 1, 1, 1)
+        assert out.data[0, 0, 0, 0] == pytest.approx(x.data.max())
+
+    def test_upsample_scale_one_is_identity_shape(self):
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)).astype(np.float32))
+        out = F.upsample_nearest2d(x, 1)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_cross_entropy_single_sample(self):
+        logits = Tensor(np.array([[10.0, -10.0]]), dtype=np.float64)
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert float(loss.data) < 1e-6
+
+    def test_cosine_similarity_antiparallel(self):
+        a = Tensor(np.array([[1.0, 2.0]]), dtype=np.float64)
+        b = Tensor(np.array([[-1.0, -2.0]]), dtype=np.float64)
+        assert F.cosine_similarity(a, b).item() == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestOptimEdgeCases:
+    def test_adam_decoupled_weight_decay_shrinks_without_grad_signal(self):
+        layer = nn.Linear(3, 3, bias=False, rng=new_rng(0))
+        opt = Adam(layer.parameters(), lr=0.1, weight_decay=0.1, decoupled=True)
+        norm0 = np.linalg.norm(layer.weight.data)
+        layer.weight.grad = np.zeros_like(layer.weight.data)
+        for _ in range(5):
+            opt.step()
+        assert np.linalg.norm(layer.weight.data) < norm0
+
+    def test_sgd_nesterov_converges(self):
+        layer = nn.Linear(4, 1, bias=False, rng=new_rng(1))
+        x = Tensor(rng.normal(size=(16, 4)).astype(np.float32))
+        w_true = rng.normal(size=(1, 4)).astype(np.float32)
+        target = Tensor(x.data @ w_true.T)  # realisable: optimum loss is 0
+        opt = SGD(layer.parameters(), lr=0.05, momentum=0.9, nesterov=True)
+        for step in range(100):
+            opt.zero_grad()
+            loss = F.mse_loss(layer(x), target)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 1e-3
+
+    def test_adam_step_count_bias_correction(self):
+        layer = nn.Linear(2, 2, rng=new_rng(0))
+        opt = Adam(layer.parameters(), lr=0.1)
+        layer.weight.grad = np.ones_like(layer.weight.data)
+        before = layer.weight.data.copy()
+        opt.step()
+        # First Adam step moves by ~lr regardless of gradient scale.
+        delta = np.abs(layer.weight.data - before)
+        np.testing.assert_allclose(delta, 0.1, rtol=1e-4)
+
+
+class TestBatchNormEdgeCases:
+    def test_record_batch_stats_keeps_output_unchanged(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        with no_grad():
+            base = bn(x).data.copy()
+        bn.record_batch_stats = True
+        with no_grad():
+            recorded = bn(x).data
+        np.testing.assert_array_equal(base, recorded)
+        assert bn.recorded_stats is not None
+        bn.record_batch_stats = False
+
+    def test_recalibrate_batchnorm_matches_population_stats(self):
+        from repro.core.training import recalibrate_batchnorm
+        bn = nn.BatchNorm2d(3)
+        images = rng.normal(2.0, 3.0, size=(64, 3, 4, 4)).astype(np.float32)
+        recalibrate_batchnorm([bn], lambda batch: bn(Tensor(batch)), images,
+                              batch_size=16)
+        np.testing.assert_allclose(bn.running_mean, images.mean(axis=(0, 2, 3)),
+                                   atol=0.05)
+
+    def test_recalibrate_noop_without_bns(self):
+        from repro.core.training import recalibrate_batchnorm
+        layer = nn.Linear(4, 2, rng=new_rng(0))
+        recalibrate_batchnorm([layer], lambda batch: layer(Tensor(batch)),
+                              np.zeros((8, 4), dtype=np.float32))
+
+
+class TestDefenseValidation:
+    def test_shredder_sampling_is_seeded(self):
+        from repro.defenses.shredder import ShredderNoise
+        bank = [rng.normal(size=(2, 3, 3)).astype(np.float32) for _ in range(4)]
+        a = ShredderNoise(bank, new_rng(5))
+        b = ShredderNoise(bank, new_rng(5))
+        seq_a = [a.sample_index() for _ in range(10)]
+        seq_b = [b.sample_index() for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_latency_breakdown_total(self):
+        from repro.latency import LatencyBreakdown
+        row = LatencyBreakdown("x", 1.0, 2.0, 3.0)
+        assert row.total_s == pytest.approx(6.0)

@@ -1,0 +1,123 @@
+"""Cross-module integration tests: deploy, serve, attack, persist.
+
+These tie the whole library together at minuscule scale — the same flow the
+examples walk through, pinned as regression tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import AttackConfig, InversionAttack, evaluate_reconstruction
+from repro.ci import Channel, Client, EnsembleCIPipeline, Server, StandardCIPipeline
+from repro.core import EnsemblerConfig, TrainingConfig
+from repro.data import cifar10_like
+from repro.defenses import fit_ensembler, fit_no_defense
+from repro.models import ResNetConfig, ResNetHead
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import new_rng
+from repro.utils.serialization import load_module, load_selector, save_module, save_selector
+
+MODEL = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                     blocks_per_stage=(1, 1), use_maxpool=True)
+TRAIN = TrainingConfig(epochs=2, batch_size=16, lr=0.05)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return cifar10_like(size=16, train_per_class=8, test_per_class=4, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def ensembler(bundle):
+    config = EnsemblerConfig(num_nets=3, num_active=2, sigma=0.1, lambda_reg=1.0,
+                             stage1=TRAIN, stage3=TRAIN)
+    return fit_ensembler(bundle, MODEL, config=config, rng=new_rng(0))
+
+
+class TestDeploymentFlow:
+    def test_defense_to_pipeline_consistency(self, ensembler, bundle):
+        """FittedDefense.predict == the live ensemble CI protocol."""
+        client = Client(ensembler.head, ensembler.tail, noise=ensembler.noise,
+                        selector=ensembler.selector)
+        server = Server(list(ensembler.bodies))
+        pipeline = EnsembleCIPipeline(client, server, Channel())
+        images = bundle.test.images[:4]
+        np.testing.assert_allclose(pipeline.infer(images), ensembler.predict(images),
+                                   rtol=1e-5)
+
+    def test_standard_pipeline_from_defense(self, bundle):
+        defense = fit_no_defense(bundle, MODEL, training=TRAIN, rng=new_rng(1))
+        client = Client(defense.head, defense.tail)
+        pipeline = StandardCIPipeline(client, Server(defense.bodies), Channel())
+        images = bundle.test.images[:4]
+        np.testing.assert_allclose(pipeline.infer(images), defense.predict(images),
+                                   rtol=1e-5)
+
+    def test_ensemble_uplink_cost_matches_standard(self, ensembler, bundle):
+        """Ensembler's upload is a single feature tensor, like standard CI."""
+        client = Client(ensembler.head, ensembler.tail, noise=ensembler.noise,
+                        selector=ensembler.selector)
+        pipeline = EnsembleCIPipeline(client, Server(list(ensembler.bodies)), Channel())
+        pipeline.infer(bundle.test.images[:4])
+        stats = pipeline.channel.stats
+        assert stats.uplink_messages == 1
+        # downlink carries N tensors (the client's selection stays private)
+        assert stats.downlink_bytes > stats.uplink_bytes * 0  # accounted
+        assert len(ensembler.bodies) == 3
+
+    def test_attack_end_to_end_on_deployment(self, ensembler, bundle):
+        attack = InversionAttack(
+            MODEL, bundle.image_shape, bundle.train,
+            AttackConfig(shadow=TrainingConfig(epochs=2, batch_size=16, lr=2e-3,
+                                               optimizer="adam"),
+                         decoder=TrainingConfig(epochs=2, batch_size=16, lr=3e-3,
+                                                optimizer="adam"),
+                         decoder_width=16),
+            rng=new_rng(2))
+        attack.observe_traffic(ensembler.intermediate(bundle.train.images[:16]))
+        artifacts = attack.attack_adaptive(list(ensembler.bodies))
+        metrics = evaluate_reconstruction(ensembler, artifacts, bundle.test.images[:4])
+        assert -1.0 <= metrics.ssim <= 1.0
+
+
+class TestPersistenceFlow:
+    def test_client_state_roundtrip(self, ensembler, bundle, tmp_path):
+        """The client persists head/tail/noise/selector and restores an
+        identical deployment."""
+        save_module(ensembler.head, tmp_path / "head.npz")
+        save_module(ensembler.tail, tmp_path / "tail.npz")
+        save_module(ensembler.noise, tmp_path / "noise.npz")
+        save_selector(ensembler.selector, tmp_path / "selector.npz")
+
+        from repro.core import FixedGaussianNoise
+        from repro.models.resnet import ResNetTail
+        head = ResNetHead(MODEL, new_rng(99))
+        tail = ResNetTail(MODEL, new_rng(98), in_multiplier=2)
+        noise = FixedGaussianNoise(MODEL.intermediate_shape(16), 0.1, new_rng(97))
+        load_module(head, tmp_path / "head.npz")
+        load_module(tail, tmp_path / "tail.npz")
+        load_module(noise, tmp_path / "noise.npz")
+        selector = load_selector(tmp_path / "selector.npz")
+        head.eval()
+        tail.eval()
+        noise.eval()
+
+        images = bundle.test.images[:4]
+        with no_grad():
+            features = noise(head(Tensor(images)))
+            outputs = [ensembler.bodies[i](features) for i in selector.indices]
+            logits = tail(selector.apply_subset(outputs)).data
+        np.testing.assert_allclose(logits, ensembler.predict(images), rtol=1e-4)
+
+    def test_selector_secrecy_boundary(self, ensembler):
+        """What ships to the server (bodies) carries no selector state."""
+        server_state = {}
+        for i, body in enumerate(ensembler.bodies):
+            server_state.update({f"{i}.{k}": v for k, v in body.state_dict().items()})
+        secret = set(ensembler.selector.indices)
+        # No array in the server state encodes the selected subset.
+        for name, value in server_state.items():
+            if value.size == len(secret):
+                assert not np.array_equal(np.sort(value.reshape(-1)),
+                                          np.sort(np.array(list(secret), dtype=value.dtype)))

@@ -1,0 +1,159 @@
+"""Tests for the FLOP profiler and the Table III latency model."""
+
+import numpy as np
+import pytest
+
+from repro.latency import (
+    A6000,
+    DeviceModel,
+    LatencyModel,
+    NetworkModel,
+    RASPBERRY_PI,
+    STAMP_SLOWDOWN_VS_PLAINTEXT,
+    SplitWorkload,
+    StampModel,
+    WIRED_LAN,
+    workload_from_model,
+)
+from repro.models import ResNetConfig, resnet18
+from repro.nn.profiling import FlopCounter, count_forward_flops
+
+
+class TestProfiling:
+    def test_conv_flops_formula(self):
+        from repro import nn
+        from repro.nn.tensor import Tensor, no_grad
+        conv = nn.Conv2d(3, 8, 3, padding=1, bias=False)
+        with FlopCounter() as counter:
+            with no_grad():
+                conv(Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32)))
+        # 2 * N * C_out * H * W * C_in * K * K
+        assert counter.by_kind["conv2d"] == 2 * 1 * 8 * 16 * 16 * 3 * 9
+
+    def test_linear_flops_formula(self):
+        from repro import nn
+        from repro.nn.tensor import Tensor, no_grad
+        layer = nn.Linear(10, 5)
+        with FlopCounter() as counter:
+            with no_grad():
+                layer(Tensor(np.zeros((4, 10), dtype=np.float32)))
+        assert counter.by_kind["linear"] == 2 * 4 * 5 * 10
+
+    def test_counting_only_when_active(self):
+        from repro import nn
+        from repro.nn.tensor import Tensor, no_grad
+        conv = nn.Conv2d(1, 1, 3)
+        with no_grad():
+            conv(Tensor(np.zeros((1, 1, 8, 8), dtype=np.float32)))  # no counter active
+        with FlopCounter() as counter:
+            pass
+        assert counter.total == 0
+
+    def test_nesting_rejected(self):
+        with FlopCounter():
+            with pytest.raises(RuntimeError):
+                FlopCounter().__enter__()
+        # outer exit must have cleared the active counter
+        with FlopCounter() as counter:
+            assert counter.total == 0
+
+    def test_resnet18_flops_magnitude(self):
+        model = resnet18(num_classes=10).eval()
+        flops = count_forward_flops(model, np.zeros((1, 3, 32, 32), dtype=np.float32))
+        assert 2e8 < flops < 4e8  # ~281 MFLOPs for our CIFAR-stem variant
+
+
+class TestDeviceAndNetwork:
+    def test_device_seconds(self):
+        device = DeviceModel("x", effective_gflops=1.0)
+        assert device.seconds(1e9) == pytest.approx(1.0)
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModel("x", effective_gflops=0.0)
+
+    def test_network_seconds(self):
+        net = NetworkModel("x", uplink_mbps=8.0, downlink_mbps=8.0, per_message_s=0.01)
+        # 1 MB at 8 Mbps = 1 second + latency
+        assert net.uplink_seconds(10**6) == pytest.approx(1.01)
+
+    def test_network_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel("x", uplink_mbps=0.0, downlink_mbps=1.0)
+        with pytest.raises(ValueError):
+            NetworkModel("x", uplink_mbps=1.0, downlink_mbps=1.0, per_message_s=-1.0)
+
+    def test_calibrated_devices_sane(self):
+        assert RASPBERRY_PI.effective_gflops < A6000.effective_gflops
+        assert WIRED_LAN.uplink_mbps < WIRED_LAN.downlink_mbps
+
+
+class TestLatencyModel:
+    def make_workload(self):
+        return SplitWorkload(
+            batch_size=128,
+            client_head_flops=4e8,
+            client_tail_flops=1e6,
+            server_body_flops=3e10,
+            upload_bytes=8_000_000,
+            download_bytes_per_net=260_000,
+        )
+
+    def test_standard_breakdown_positive(self):
+        row = LatencyModel().standard_ci(self.make_workload())
+        assert row.client_s > 0 and row.server_s > 0 and row.communication_s > 0
+        assert row.total_s == pytest.approx(row.client_s + row.server_s + row.communication_s)
+
+    def test_ensembler_client_time_unchanged(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        std = model.standard_ci(workload)
+        ens = model.ensembler(workload, 10)
+        assert ens.client_s == pytest.approx(std.client_s)
+
+    def test_ensembler_overhead_grows_with_n(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        totals = [model.ensembler(workload, n).total_s for n in (1, 5, 10)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_ensembler_n1_matches_standard(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        std = model.standard_ci(workload)
+        ens = model.ensembler(workload, 1)
+        assert ens.total_s == pytest.approx(std.total_s, rel=1e-6)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LatencyModel(serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            LatencyModel().ensembler(self.make_workload(), 0)
+
+    def test_paper_calibration_holds(self):
+        """The calibrated model must reproduce Table III within 2%."""
+        workload = workload_from_model(ResNetConfig(num_classes=10), 32, 128)
+        model = LatencyModel()
+        std = model.standard_ci(workload)
+        ens = model.ensembler(workload, 10)
+        assert std.client_s == pytest.approx(0.66, rel=0.02)
+        assert std.server_s == pytest.approx(0.98, rel=0.02)
+        assert std.communication_s == pytest.approx(2.30, rel=0.02)
+        assert ens.total_s == pytest.approx(4.13, rel=0.02)
+        overhead = (ens.total_s - std.total_s) / std.total_s
+        assert overhead == pytest.approx(0.048, abs=0.01)
+
+
+class TestStamp:
+    def test_slowdown_anchor(self):
+        assert STAMP_SLOWDOWN_VS_PLAINTEXT == pytest.approx(309.7 / 3.94, rel=1e-6)
+
+    def test_from_plaintext(self):
+        from repro.latency.model import LatencyBreakdown
+        plain = LatencyBreakdown("std", 1.0, 1.0, 2.0)
+        stamp = StampModel(slowdown=10.0).from_plaintext(plain)
+        assert stamp.total_s == pytest.approx(40.0)
+
+    def test_slowdown_validation(self):
+        with pytest.raises(ValueError):
+            StampModel(slowdown=0.5)

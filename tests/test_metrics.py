@@ -1,0 +1,158 @@
+"""Tests for SSIM, PSNR and accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy,
+    batch_psnr,
+    batch_ssim,
+    delta_accuracy,
+    evaluate_accuracy,
+    psnr,
+    ssim,
+)
+from repro.data import ArrayDataset
+
+rng = np.random.default_rng(31)
+
+
+def random_image(size=16, channels=3):
+    return rng.random((channels, size, size))
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self):
+        image = random_image()
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_independent_noise_scores_low(self):
+        a, b = rng.random((3, 32, 32)), rng.random((3, 32, 32))
+        assert ssim(a, b) < 0.2
+
+    def test_noisy_copy_between(self):
+        image = random_image(32)
+        noisy = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        score = ssim(image, noisy)
+        assert 0.2 < score < 0.999
+
+    def test_more_noise_lower_ssim(self):
+        image = random_image(32)
+        mild = np.clip(image + rng.normal(0, 0.05, image.shape), 0, 1)
+        severe = np.clip(image + rng.normal(0, 0.4, image.shape), 0, 1)
+        assert ssim(image, severe) < ssim(image, mild)
+
+    def test_grayscale_2d_accepted(self):
+        image = rng.random((16, 16))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_gaussian_window(self):
+        image = random_image(32)
+        noisy = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        uniform = ssim(image, noisy, window="uniform")
+        gaussian = ssim(image, noisy, window="gaussian")
+        # Both windows agree on the ballpark.
+        assert abs(uniform - gaussian) < 0.25
+
+    def test_unknown_window_raises(self):
+        image = random_image()
+        with pytest.raises(ValueError):
+            ssim(image, image, window="box")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 8, 8)), np.zeros((3, 9, 9)))
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 4, 4)), np.zeros((3, 4, 4)))
+
+    def test_batch_ssim_is_mean(self):
+        a = rng.random((4, 3, 16, 16))
+        b = rng.random((4, 3, 16, 16))
+        expected = np.mean([ssim(x, y) for x, y in zip(a, b)])
+        assert batch_ssim(a, b) == pytest.approx(expected)
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        image = random_image()
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        # MSE = 0.25 -> PSNR = 10*log10(1/0.25) ~ 6.0206
+        assert psnr(a, b) == pytest.approx(6.0206, rel=1e-4)
+
+    def test_data_range_scales(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert psnr(a, b, data_range=255.0) > psnr(a, b, data_range=1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_batch_skips_infinite(self):
+        a = np.stack([np.zeros((1, 8, 8)), np.ones((1, 8, 8))])
+        b = np.stack([np.zeros((1, 8, 8)), np.full((1, 8, 8), 0.5)])
+        assert np.isfinite(batch_psnr(a, b))
+
+    def test_batch_all_identical_is_infinite(self):
+        a = rng.random((2, 1, 8, 8))
+        assert batch_psnr(a, a.copy()) == float("inf")
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 3)), np.zeros(0))
+
+    def test_evaluate_accuracy_batched(self):
+        images = rng.random((10, 1, 4, 4)).astype(np.float32)
+        labels = (images.mean(axis=(1, 2, 3)) > 0.5).astype(np.int64)
+        ds = ArrayDataset(images, labels)
+
+        def predict(batch):
+            mean = batch.mean(axis=(1, 2, 3))
+            return np.stack([0.5 - mean, mean - 0.5], axis=1)
+
+        assert evaluate_accuracy(predict, ds, batch_size=3) == 1.0
+
+    def test_delta_accuracy_sign(self):
+        # Positive delta = accuracy drop after defense (paper's convention).
+        assert delta_accuracy(defended=0.90, undefended=0.92) == pytest.approx(0.02)
+        assert delta_accuracy(defended=0.95, undefended=0.92) == pytest.approx(-0.03)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), sigma=st.floats(0.01, 0.5))
+def test_property_psnr_monotone_in_noise(seed, sigma):
+    """PSNR decreases (or ties) when noise grows on the same image."""
+    local = np.random.default_rng(seed)
+    image = local.random((3, 8, 8))
+    noise = local.normal(0, 1, image.shape)
+    mild = image + sigma * noise
+    severe = image + 2 * sigma * noise
+    assert psnr(image, severe) <= psnr(image, mild) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_ssim_symmetric(seed):
+    """SSIM(a, b) == SSIM(b, a)."""
+    local = np.random.default_rng(seed)
+    a = local.random((1, 16, 16))
+    b = local.random((1, 16, 16))
+    assert ssim(a, b) == pytest.approx(ssim(b, a), rel=1e-9)

@@ -1,0 +1,102 @@
+"""Cross-cutting property-based tests on core invariants (hypothesis).
+
+These complement the per-module suites with algebraic laws that must hold
+for *any* input: linearity of convolution, autograd consistency under
+composition, protocol byte-accounting conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.ci import Channel, payload_nbytes
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), scale=st.floats(-3.0, 3.0))
+def test_conv2d_is_linear_in_input(seed, scale):
+    """conv(a*x) == a*conv(x) for a bias-free convolution."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(1, 2, 6, 6)), dtype=np.float64)
+    w = Tensor(rng.normal(size=(3, 2, 3, 3)), dtype=np.float64)
+    lhs = F.conv2d(Tensor(x.data * scale, dtype=np.float64), w, padding=1)
+    rhs = F.conv2d(x, w, padding=1)
+    np.testing.assert_allclose(lhs.data, scale * rhs.data, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_conv2d_is_additive_in_weights(seed):
+    """conv(x; w1 + w2) == conv(x; w1) + conv(x; w2)."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(1, 2, 5, 5)), dtype=np.float64)
+    w1 = rng.normal(size=(2, 2, 3, 3))
+    w2 = rng.normal(size=(2, 2, 3, 3))
+    combined = F.conv2d(x, Tensor(w1 + w2, dtype=np.float64), padding=1)
+    separate = (F.conv2d(x, Tensor(w1, dtype=np.float64), padding=1)
+                + F.conv2d(x, Tensor(w2, dtype=np.float64), padding=1))
+    np.testing.assert_allclose(combined.data, separate.data, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gradient_of_sum_is_sum_of_gradients(seed):
+    """d(f+g)/dx == df/dx + dg/dx computed through separate tapes."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(4, 3))
+
+    def grad_of(fn):
+        x = Tensor(data.copy(), requires_grad=True, dtype=np.float64)
+        fn(x).backward()
+        return x.grad
+
+    f = lambda x: (x * x).sum()
+    g = lambda x: x.tanh().sum()
+    combined = lambda x: (x * x).sum() + x.tanh().sum()
+    np.testing.assert_allclose(grad_of(combined), grad_of(f) + grad_of(g),
+                               rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), batch=st.integers(1, 4))
+def test_global_avg_pool_preserves_mean(seed, batch):
+    """Global average pooling equals the per-channel spatial mean."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, 3, 5, 5))
+    out = F.global_avg_pool2d(Tensor(x, dtype=np.float64))
+    np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_up=st.integers(0, 5), n_down=st.integers(0, 5), seed=st.integers(0, 100))
+def test_channel_accounting_is_conserved(n_up, n_down, seed):
+    """Total bytes equal the sum of per-message payload sizes, exactly."""
+    rng = np.random.default_rng(seed)
+    channel = Channel()
+    expected = 0
+    for _ in range(n_up):
+        payload = np.zeros(int(rng.integers(1, 100)), dtype=np.float32)
+        expected += payload_nbytes(payload)
+        channel.send_up(payload)
+    for _ in range(n_down):
+        payload = np.zeros(int(rng.integers(1, 100)), dtype=np.float32)
+        expected += payload_nbytes(payload)
+        channel.send_down(payload)
+    assert channel.stats.total_bytes == expected
+    assert channel.stats.total_messages == n_up + n_down
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_softmax_invariant_to_constant_shift(seed):
+    """softmax(x + c) == softmax(x)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 6))
+    shift = float(rng.normal()) * 10
+    a = F.softmax(Tensor(x, dtype=np.float64), axis=1)
+    b = F.softmax(Tensor(x + shift, dtype=np.float64), axis=1)
+    np.testing.assert_allclose(a.data, b.data, rtol=1e-7, atol=1e-9)
