@@ -1,0 +1,143 @@
+"""E1 — looped vs batched ensemble execution (the server's Fig.-2 hot path).
+
+Times ``server_outputs`` over N resnet-style bodies on both backends:
+
+* **looped** — the reference Python loop over N independent graphs;
+* **batched** — the fused :class:`~repro.nn.batched.StackedBodies` pass.
+
+Run as pytest (``pytest benchmarks/bench_ensemble.py -s``) or directly
+(``python benchmarks/bench_ensemble.py``).  Either way a ``BENCH_ensemble.json``
+record is written at the repo root so the perf trajectory accumulates
+across PRs; the pytest entry additionally asserts the acceptance bar
+(batched ≥ 2x for N=8, outputs matching to ≤ 1e-5).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow `python benchmarks/bench_ensemble.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.models.resnet import ResNetBody, ResNetConfig  # noqa: E402
+from repro.nn.batched import StackedBodies  # noqa: E402
+from repro.nn.tensor import Tensor, no_grad  # noqa: E402
+from repro.utils.rng import new_rng  # noqa: E402
+
+BODY_COUNTS = (3, 5, 8)
+BATCH_SIZE = 8
+WIDTH = 16
+SPATIAL = 8
+RECORD_PATH = REPO_ROOT / "BENCH_ensemble.json"
+
+
+def build_bodies(num_nets: int, width: int = WIDTH) -> list[ResNetBody]:
+    """N resnet-style bodies (4 stages, the resnet10 topology at ``width``)."""
+    config = ResNetConfig(
+        num_classes=10,
+        stem_channels=width,
+        stage_channels=(width, 2 * width, 4 * width, 8 * width),
+        blocks_per_stage=(1, 1, 1, 1),
+    )
+    bodies = [ResNetBody(config, new_rng(100 + i)) for i in range(num_nets)]
+    for body in bodies:
+        body.eval()
+    return bodies
+
+
+def time_fn(fn, repeats: int = 5, warmup: int = 2) -> float:
+    """Best-of-``repeats`` wall time (seconds) after warmup."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(body_counts=BODY_COUNTS, batch_size=BATCH_SIZE, width=WIDTH,
+                  spatial=SPATIAL, repeats: int = 5) -> dict:
+    """Time both backends for each N and return the JSON-ready record."""
+    rng = np.random.default_rng(0)
+    features = rng.random((batch_size, width, spatial, spatial), dtype=np.float32)
+    x = Tensor(features)
+    results = []
+    for num_nets in body_counts:
+        bodies = build_bodies(num_nets, width)
+        stacked = StackedBodies(bodies)
+        stacked.eval()
+
+        def looped():
+            return [body(x) for body in bodies]
+
+        def batched():
+            return stacked(x)
+
+        with no_grad():
+            looped_out = looped()
+            batched_out = batched()
+            max_abs_diff = max(
+                float(np.abs(batched_out.data[i] - looped_out[i].data).max())
+                for i in range(num_nets)
+            )
+
+            looped_s = time_fn(looped, repeats=repeats)
+            batched_s = time_fn(batched, repeats=repeats)
+        results.append({
+            "num_nets": num_nets,
+            "looped_s": looped_s,
+            "batched_s": batched_s,
+            "speedup": looped_s / batched_s,
+            "max_abs_diff": max_abs_diff,
+        })
+    return {
+        "benchmark": "ensemble_server_outputs",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "batch_size": batch_size,
+        "width": width,
+        "spatial": spatial,
+        "body_topology": "resnet10-style (4 stages, 1 block each)",
+        "results": results,
+    }
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def print_record(record: dict) -> None:
+    print(f"\nbatched-ensemble benchmark (batch={record['batch_size']}, "
+          f"width={record['width']}, {record['body_topology']})")
+    print(f"{'N':>3}  {'looped [ms]':>12}  {'batched [ms]':>13}  {'speedup':>8}  {'max|diff|':>10}")
+    for row in record["results"]:
+        print(f"{row['num_nets']:>3}  {row['looped_s'] * 1e3:>12.2f}  "
+              f"{row['batched_s'] * 1e3:>13.2f}  {row['speedup']:>7.2f}x  "
+              f"{row['max_abs_diff']:>10.2e}")
+
+
+def test_batched_ensemble_speedup():
+    """Acceptance bar: fused pass ≥ 2x the loop at N=8, outputs matching."""
+    record = run_benchmark()
+    write_record(record)
+    print_record(record)
+    for row in record["results"]:
+        assert row["max_abs_diff"] <= 1e-5, (
+            f"backends diverge at N={row['num_nets']}: {row['max_abs_diff']}")
+    by_n = {row["num_nets"]: row for row in record["results"]}
+    assert by_n[8]["speedup"] >= 2.0, (
+        f"batched must be ≥2x faster than looped for N=8, got "
+        f"{by_n[8]['speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    rec = run_benchmark()
+    out = write_record(rec)
+    print_record(rec)
+    print(f"\nrecord written to {out}")

@@ -81,8 +81,9 @@ def test_decoder_inference(benchmark):
 
 def test_ssim_batch(benchmark):
     from repro.metrics import batch_ssim
-    a = rng.random((16, 3, 32, 32))
-    b = rng.random((16, 3, 32, 32))
+    # float32, the dtype the pipeline actually produces for reconstructions.
+    a = rng.random((16, 3, 32, 32), dtype=np.float32)
+    b = rng.random((16, 3, 32, 32), dtype=np.float32)
     benchmark(batch_ssim, a, b)
 
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Perf smoke check: the fused batched-ensemble pass must beat the loop.
+
+Fails (exit code 1) if batched execution is slower than looped
+``server_outputs`` for any N >= 5 — the regime the Ensembler protocol
+actually serves (the paper runs N=10).  Intended for CI and pre-merge
+checks; the full trajectory benchmark lives in
+``benchmarks/bench_ensemble.py``.
+
+Usage: ``python scripts/check_perf.py``
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def load_bench():
+    """Import benchmarks/bench_ensemble.py (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_ensemble", REPO_ROOT / "benchmarks" / "bench_ensemble.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> int:
+    bench = load_bench()
+    record = bench.run_benchmark(body_counts=(5, 8), repeats=3)
+    bench.print_record(record)
+    failures = []
+    for row in record["results"]:
+        if row["max_abs_diff"] > 1e-5:
+            failures.append(
+                f"N={row['num_nets']}: backends diverge "
+                f"(max abs diff {row['max_abs_diff']:.2e} > 1e-5)")
+        if row["num_nets"] >= 5 and row["speedup"] < 1.0:
+            failures.append(
+                f"N={row['num_nets']}: batched is SLOWER than looped "
+                f"({row['speedup']:.2f}x)")
+    if failures:
+        print("\nPERF CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf check ok: batched >= looped for all N >= 5")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

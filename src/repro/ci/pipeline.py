@@ -5,6 +5,20 @@ client tail.  ``EnsembleCIPipeline`` is Ensembler's inference path: the client
 uploads noised intermediate features once, the server runs *all* N bodies and
 returns all N feature vectors, and the client privately selects P of them
 before its tail.  Both run over a byte-counting :class:`~repro.ci.channel.Channel`.
+
+Server execution backends
+-------------------------
+The server's mandatory "run every body" step supports two backends:
+
+* ``"batched"`` (default) — the bodies are compiled once into a
+  :class:`~repro.nn.batched.StackedBodies` and each request runs them as a
+  single fused NumPy pass; this is the serving-throughput path.  Servers
+  with a single body, or with architecturally heterogeneous bodies that
+  cannot be stacked, fall back to the looped backend automatically.
+* ``"looped"`` — a Python loop over the bodies; the reference path.
+
+Both backends produce the same per-body outputs (≤1e-5), so the wire
+protocol and the client are backend-agnostic.
 """
 
 from __future__ import annotations
@@ -13,6 +27,7 @@ import numpy as np
 
 from repro import nn
 from repro.ci.channel import Channel
+from repro.nn.batched import StackedBodies
 from repro.nn.tensor import Tensor, no_grad
 
 
@@ -49,21 +64,56 @@ class Server:
     """Cloud role: holds one or more bodies ``M_s^i`` and runs them all.
 
     The server is semi-honest: it follows the protocol but may retain the
-    uploaded features for a model-inversion attack.
+    uploaded features for a model-inversion attack.  With the default
+    ``"batched"`` backend, multi-body servers execute all bodies as one
+    fused :class:`~repro.nn.batched.StackedBodies` pass; heterogeneous or
+    single-body deployments run the looped reference path.  The stacked
+    engine snapshots the bodies' weights at construction — call
+    :meth:`sync` after mutating them.
     """
 
-    def __init__(self, bodies: list[nn.Module]):
+    def __init__(self, bodies: list[nn.Module], backend: str = "batched"):
         if not bodies:
             raise ValueError("server needs at least one body network")
+        if backend not in ("batched", "looped"):
+            raise ValueError("backend must be 'batched' or 'looped'")
         self.bodies = bodies
         self.observed_features: list[np.ndarray] = []
+        self.backend = "looped"
+        self._stacked: StackedBodies | None = None
+        if backend == "batched" and len(bodies) > 1:
+            # None for heterogeneous bodies: serve them with the loop.
+            self._stacked = StackedBodies.try_build(bodies)
+            if self._stacked is not None:
+                self.backend = "batched"
+
+    def sync(self) -> "Server":
+        """Refresh the stacked engine after the bodies' weights changed."""
+        if self._stacked is not None:
+            self._stacked.sync_from(self.bodies)
+            self._stacked.train(self.bodies[0].training)
+        return self
 
     def compute(self, features: np.ndarray, record: bool = False) -> list[np.ndarray]:
-        """Run every body on the uploaded features and return all outputs."""
+        """Run every body on the uploaded features and return all outputs.
+
+        The uploaded buffer is only copied on the (rare) recording path —
+        the common ``record=False`` serve path wraps it once, zero-copy, and
+        shares that one tensor across the whole body ensemble.
+        """
         if record:
+            # Snapshot: the buffer belongs to the channel/client and may be
+            # reused, while a retained feature map must stay immutable.
             self.observed_features.append(np.array(features, copy=True))
         with no_grad():
             x = Tensor(features)
+            # The fused engine serves eval-mode bodies only; train-mode
+            # bodies take the loop so their BN running statistics update in
+            # place (the stacked mirror must never hold the only copy).
+            if self._stacked is not None and not self._stacked.training:
+                stacked_out = self._stacked(x).data
+                return [np.ascontiguousarray(stacked_out[i])
+                        for i in range(len(self.bodies))]
             return [body(x).data for body in self.bodies]
 
 
@@ -86,7 +136,12 @@ class StandardCIPipeline:
 
 
 class EnsembleCIPipeline:
-    """Ensembler inference: one upload, N bodies, N downloads, private select."""
+    """Ensembler inference: one upload, N bodies, N downloads, private select.
+
+    The server side runs on whichever backend its :class:`Server` resolved
+    (fused batched pass by default); the protocol — byte counts, message
+    counts, returned tensors — is identical either way.
+    """
 
     def __init__(self, client: Client, server: Server, channel: Channel | None = None):
         if client._selector is None:

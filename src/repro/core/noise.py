@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
+from repro.nn import batched
 from repro.nn.tensor import Tensor
 from repro.utils.rng import new_rng
 
@@ -35,6 +36,38 @@ class FixedGaussianNoise(nn.Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x + Tensor(self.noise)
+
+
+@batched.register_stacker(FixedGaussianNoise)
+class StackedFixedGaussianNoise(batched.StackedModule):
+    """E fixed noise maps applied in one pass: ``x + noise[e]`` per member.
+
+    Used by the batched stage-1 BN recalibration, where each of the N
+    stage-1 networks replays the training data through its own noise map.
+    """
+
+    def __init__(self, mods: list[FixedGaussianNoise]):
+        super().__init__()
+        self.num_stacked = len(mods)
+        shapes = {m.noise.shape for m in mods}
+        if len(shapes) != 1:
+            raise batched.UnstackableError(f"noise map shapes differ: {sorted(shapes)}")
+        self.register_buffer("noise", np.stack([m.noise for m in mods]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        e = self.num_stacked
+        return x + Tensor(self.noise.reshape(e, 1, *self.noise.shape[1:]))
+
+    def sync_from(self, mods: list[FixedGaussianNoise]) -> "StackedFixedGaussianNoise":
+        mods = self._check_arity(mods)
+        self.noise[...] = np.stack([m.noise for m in mods])
+        return self
+
+    def unstack_to(self, mods: list[FixedGaussianNoise]) -> "StackedFixedGaussianNoise":
+        mods = self._check_arity(mods)
+        for i, mod in enumerate(mods):
+            mod.noise[...] = self.noise[i]
+        return self
 
 
 class FreshGaussianNoise(nn.Module):

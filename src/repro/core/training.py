@@ -35,6 +35,13 @@ from repro.core.selector import Selector
 from repro.data.datasets import ArrayDataset, DataLoader
 from repro.models.resnet import ResNet, ResNetConfig, ResNetHead, ResNetTail
 from repro.nn import functional as F
+from repro.nn.batched import (
+    StackedBatchNorm2d,
+    StackedBodies,
+    UnstackableError,
+    stack_modules,
+    unbind,
+)
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.config import FrozenConfig
 from repro.utils.logging import get_logger
@@ -89,6 +96,7 @@ class EnsemblerConfig(FrozenConfig):
     regularizer: str = "standardized_cosine"
     stage1: TrainingConfig = TrainingConfig()
     stage3: TrainingConfig = TrainingConfig()
+    backend: str = "batched"
 
     def __post_init__(self):
         if not 1 <= self.num_active <= self.num_nets:
@@ -99,6 +107,8 @@ class EnsemblerConfig(FrozenConfig):
             raise ValueError("lambda_reg must be non-negative")
         if self.regularizer not in ("cosine", "standardized_cosine"):
             raise ValueError("regularizer must be 'cosine' or 'standardized_cosine'")
+        if self.backend not in ("batched", "looped"):
+            raise ValueError("backend must be 'batched' or 'looped'")
 
 
 def run_sgd(
@@ -143,10 +153,12 @@ def recalibrate_batchnorm(
     output distribution.  This pass resets the statistics of every
     ``BatchNorm2d`` inside ``modules`` and replays the training data through
     ``forward_fn`` in train mode, averaging the per-batch statistics exactly
-    (PyTorch's ``momentum=None`` behaviour).
+    (PyTorch's ``momentum=None`` behaviour).  Stacked (batched-ensemble)
+    batch-norm layers are recalibrated the same way: their ``(E, C)``
+    running statistics reset and re-average per member in one fused replay.
     """
     bns = [m for module in modules for m in module.modules()
-           if isinstance(m, nn.BatchNorm2d)]
+           if isinstance(m, (nn.BatchNorm2d, StackedBatchNorm2d))]
     if not bns:
         return
     saved = [(bn.momentum, bn.training) for bn in bns]
@@ -225,18 +237,47 @@ class EnsemblerTrainer:
 
             history = run_sgd(net.parameters(), loss_fn, dataset, self.config.stage1,
                               spawn_rng(self.rng))
-
-            def replay(images, net=net, noise=noise):
-                return net.tail(net.body(noise(net.head(Tensor(images)))))
-
-            recalibrate_batchnorm([net], replay, dataset.images,
-                                  self.config.stage1.batch_size)
-            net.eval()
             logger.info("stage1 net %d final loss %.4f", index, history[-1])
             nets.append(net)
             noises.append(noise)
             histories.append(history)
+        self._recalibrate_stage1(nets, noises, dataset)
+        for net in nets:
+            net.eval()
         return nets, noises, histories
+
+    def _recalibrate_stage1(self, nets: list[ResNet], noises: list[nn.Module],
+                            dataset: ArrayDataset) -> None:
+        """Close the stage-1 BN train/eval gap for all N nets.
+
+        With the batched backend the N per-net replays collapse into one
+        fused :func:`~repro.nn.batched.stack_modules` pass (the N nets are
+        architecturally identical by construction); the recalibrated running
+        statistics are written back into the loop-format nets, so downstream
+        stages see no difference.  Falls back to per-net replays when the
+        nets or their noise modules cannot be stacked (e.g. DR-N's dropout).
+        """
+        batch_size = self.config.stage1.batch_size
+        if self.config.backend == "batched" and len(nets) > 1:
+            try:
+                stacked_nets = stack_modules(nets)
+                stacked_noise = stack_modules(noises)
+            except UnstackableError:
+                pass
+            else:
+                def replay(images):
+                    features = stacked_noise(stacked_nets.head(Tensor(images)))
+                    return stacked_nets.tail(stacked_nets.body(features))
+
+                recalibrate_batchnorm([stacked_nets], replay, dataset.images,
+                                      batch_size)
+                stacked_nets.unstack_to(nets)
+                return
+        for net, noise in zip(nets, noises):
+            def replay(images, net=net, noise=noise):
+                return net.tail(net.body(noise(net.head(Tensor(images)))))
+
+            recalibrate_batchnorm([net], replay, dataset.images, batch_size)
 
     # -- stage 2 -----------------------------------------------------------
     def select(self) -> Selector:
@@ -271,6 +312,13 @@ class EnsemblerTrainer:
         head.train()
         tail.train()
 
+        # Batched backend: evaluate the P frozen bodies as one fused pass per
+        # batch.  Their parameters are frozen, so gradients only flow through
+        # the batched ops back into the new head — exactly as in the loop.
+        stacked_selected = None
+        if config.backend == "batched" and len(selected_bodies) > 1:
+            stacked_selected = StackedBodies.try_build(selected_bodies, eval_mode=True)
+
         standardize = config.regularizer == "standardized_cosine"
 
         def prepare(features: Tensor) -> Tensor:
@@ -292,7 +340,10 @@ class EnsemblerTrainer:
             x = Tensor(images)
             head_out = head(x)
             features = noise(head_out)
-            branch_outputs = [body(features) for body in selected_bodies]
+            if stacked_selected is not None:
+                branch_outputs = unbind(stacked_selected(features))
+            else:
+                branch_outputs = [body(features) for body in selected_bodies]
             logits = tail(selector.apply_subset(branch_outputs))
             loss = F.cross_entropy(logits, labels)
             if config.lambda_reg > 0:
@@ -316,7 +367,8 @@ class EnsemblerTrainer:
         head.eval()
         tail.eval()
         logger.info("stage3 final loss %.4f", history[-1])
-        model = EnsemblerModel(head, bodies, tail, selector, noise)
+        model = EnsemblerModel(head, bodies, tail, selector, noise,
+                               backend=config.backend)
         return model, history
 
     # -- full pipeline -----------------------------------------------------

@@ -37,7 +37,10 @@ def _class_texture(class_id: int, channels: int, size: int, seed: int) -> np.nda
         blob = np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma**2))
         weights = rng.uniform(-1.0, 1.0, size=channels)[:, None, None]
         pattern += weights * blob
-    return pattern
+    # Emit float32: the whole pipeline runs in float32, and keeping the
+    # per-sample transforms below in the same dtype avoids silently timing
+    # (and training on) float64 intermediates.
+    return pattern.astype(np.float32)
 
 
 def make_pattern_classification(
@@ -123,7 +126,8 @@ def _render_face(params: dict[str, float], size: int, shift: tuple[float, float]
     image[0][mouth] = 0.55
     image[1][mouth] = 0.1
     image[2][mouth] = 0.15
-    return np.clip(image * brightness, 0.0, 1.0)
+    # float32 like the rest of the pipeline (see _class_texture).
+    return np.clip(image * brightness, 0.0, 1.0).astype(np.float32)
 
 
 def make_face_identification(

@@ -50,6 +50,10 @@ class ExperimentPreset:
     attack: AttackConfig
     probe_size: int
     traffic_size: int
+    # Ensemble execution backend: "batched" fuses the N server bodies into
+    # one stacked NumPy pass (the default serving path); "looped" keeps the
+    # reference per-body Python loop.
+    backend: str = "batched"
 
     def dataset(self, key: str) -> DatasetSpec:
         for spec in self.datasets:
@@ -65,6 +69,7 @@ class ExperimentPreset:
             lambda_reg=self.lambda_reg,
             stage1=self.train,
             stage3=self.stage3,
+            backend=self.backend,
         )
 
 

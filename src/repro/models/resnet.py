@@ -18,6 +18,7 @@ import dataclasses
 import numpy as np
 
 from repro import nn
+from repro.nn import batched
 from repro.nn.tensor import Tensor
 from repro.utils.config import FrozenConfig
 from repro.utils.rng import new_rng, spawn_rng
@@ -153,6 +154,85 @@ class ResNet(nn.Module):
         self.head = ResNetHead(config, spawn_rng(rng))
         self.body = ResNetBody(config, spawn_rng(rng))
         self.tail = ResNetTail(config, spawn_rng(rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.tail(self.body(self.head(x)))
+
+
+# ----------------------------------------------------------------------
+# Batched-ensemble stackers: let N identical ResNets (or their pieces) run
+# as one fused pass through repro.nn.batched.StackedBodies.
+# ----------------------------------------------------------------------
+
+
+@batched.register_stacker(BasicBlock)
+class StackedBasicBlock(batched.StackedModule):
+    """E residual blocks executed as one fused pass (same dataflow as
+    :class:`BasicBlock`, with the shortcut broadcasting over the ensemble
+    axis when the input is still shared)."""
+
+    def __init__(self, blocks: list[BasicBlock]):
+        super().__init__()
+        self.num_stacked = len(blocks)
+        self.conv1 = batched.stack_modules([b.conv1 for b in blocks])
+        self.bn1 = batched.stack_modules([b.bn1 for b in blocks])
+        self.conv2 = batched.stack_modules([b.conv2 for b in blocks])
+        self.bn2 = batched.stack_modules([b.bn2 for b in blocks])
+        self.shortcut = batched.stack_modules([b.shortcut for b in blocks])
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+@batched.register_stacker(ResNetHead)
+class StackedResNetHead(batched.StackedModule):
+    def __init__(self, heads: list[ResNetHead]):
+        super().__init__()
+        self.num_stacked = len(heads)
+        self.conv = batched.stack_modules([h.conv for h in heads])
+        self.bn = batched.stack_modules([h.bn for h in heads])
+        self.pool = batched.stack_modules([h.pool for h in heads])
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.bn(self.conv(x)).relu())
+
+
+@batched.register_stacker(ResNetBody)
+class StackedResNetBody(batched.StackedModule):
+    def __init__(self, bodies: list[ResNetBody]):
+        super().__init__()
+        self.num_stacked = len(bodies)
+        self.stages = batched.stack_modules([b.stages for b in bodies])
+        self.pool = batched.stack_modules([b.pool for b in bodies])
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.stages(x))
+
+
+@batched.register_stacker(ResNetTail)
+class StackedResNetTail(batched.StackedModule):
+    def __init__(self, tails: list[ResNetTail]):
+        super().__init__()
+        self.num_stacked = len(tails)
+        self.fc = batched.stack_modules([t.fc for t in tails])
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(x)
+
+
+@batched.register_stacker(ResNet)
+class StackedResNet(batched.StackedModule):
+    """E complete networks fused end to end (stage-1 BN recalibration runs
+    all N replays as one pass through this)."""
+
+    def __init__(self, models: list["ResNet"]):
+        super().__init__()
+        self.num_stacked = len(models)
+        self.head = batched.stack_modules([m.head for m in models])
+        self.body = batched.stack_modules([m.body for m in models])
+        self.tail = batched.stack_modules([m.tail for m in models])
 
     def forward(self, x: Tensor) -> Tensor:
         return self.tail(self.body(self.head(x)))

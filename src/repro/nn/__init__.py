@@ -7,6 +7,8 @@ This subpackage replaces PyTorch for the reproduction: reverse-mode autograd
 """
 
 from repro.nn import functional, init, optim
+from repro.nn import batched
+from repro.nn.batched import StackedBodies, UnstackableError, stack_modules, unbind
 from repro.nn.modules import (
     AvgPool2d,
     BatchNorm2d,
@@ -54,11 +56,14 @@ __all__ = [
     "SGD",
     "Sequential",
     "Sigmoid",
+    "StackedBodies",
     "StepLR",
     "Tanh",
     "Tensor",
+    "UnstackableError",
     "UpsampleNearest2d",
     "as_tensor",
+    "batched",
     "concat",
     "functional",
     "init",
@@ -67,6 +72,8 @@ __all__ = [
     "optim",
     "randn",
     "stack",
+    "stack_modules",
+    "unbind",
     "where",
     "zeros",
 ]

@@ -1,0 +1,639 @@
+"""Batched-ensemble execution: run E architecturally identical modules at once.
+
+Ensembler's protocol requires the server to run *all* N bodies per query so
+the client's selection stays secret.  Executing them as a Python loop over N
+independent graphs pays N× interpreter and im2col overhead; this module
+instead stacks the N parameter sets along a leading **ensemble axis** and
+runs all members in one fused NumPy pass, so the heavy lifting stays inside
+a single wide (or batched) BLAS matmul per layer.
+
+Conventions
+-----------
+Activations carry a leading ensemble axis ``E``: convolutional features are
+``(E, N, C, H, W)`` and pooled features are ``(E, N, C)``.  A plain NCHW
+(4-D) or NC (2-D) input is interpreted as *shared* across all members — the
+common entry case, since every body receives the same uploaded features.
+The first parametric layer then lowers the shared input once (one im2col)
+and applies one ``(E·out_c, C·kh·kw)`` matmul, after which activations are
+per-member.
+
+Stacking
+--------
+:func:`stack_modules` compiles a list of architecturally identical modules
+into a mirrored ``Stacked*`` tree via a type registry; composite layers
+(e.g. residual blocks) register their own stackers with
+:func:`register_stacker`.  :class:`StackedBodies` wraps the compiled tree
+and adds ``sync_from`` / ``unstack_to`` so loop-trained checkpoints and the
+stacked engine stay interchangeable.  All batched ops support autograd, so
+joint fine-tuning can run through the stacked graph as well; modules that
+cannot be stacked raise :class:`UnstackableError`, which callers use to fall
+back to the looped path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.nn import profiling
+from repro.nn.functional import _col2im, _im2col
+from repro.nn import functional as F
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from repro.nn.tensor import stack as tensor_stack
+
+
+class UnstackableError(TypeError):
+    """Raised when a list of modules cannot be compiled into a stacked pass."""
+
+
+# ----------------------------------------------------------------------
+# Functional ops (ensemble axis leading)
+# ----------------------------------------------------------------------
+
+
+def unbind(stacked: Tensor) -> list[Tensor]:
+    """Split a stacked ``(E, ...)`` tensor into E per-member tensors.
+
+    Gradient routing is preserved, so downstream per-member consumers (the
+    selector, per-net losses) compose with the fused forward.
+    """
+    return [stacked[i] for i in range(stacked.shape[0])]
+
+
+def batched_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map for E members at once; ``weight`` is ``(E, out, in)``.
+
+    ``x`` is ``(E, N, in)`` (per-member) or ``(N, in)`` (shared input); the
+    result is always ``(E, N, out)`` via one batched matmul.
+    """
+    e, out_features, in_features = weight.shape
+    rows = int(np.prod(x.shape[:-1]))
+    members = 1 if x.ndim == 3 else e
+    profiling.record("linear", 2 * rows * members * out_features * in_features)
+    out = x @ weight.transpose(0, 2, 1)
+    if bias is not None:
+        out = out + bias.reshape(e, 1, out_features)
+    return out
+
+
+def _pad_spatial(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the trailing two (spatial) axes.
+
+    Equivalent to ``np.pad`` but a plain alloc-and-assign: ``np.pad``'s
+    generic machinery costs more Python time than a whole small conv layer
+    on the fused hot path.
+    """
+    if padding == 0:
+        return x
+    shape = x.shape[:-2] + (x.shape[-2] + 2 * padding, x.shape[-1] + 2 * padding)
+    out = np.zeros(shape, dtype=x.dtype)
+    out[..., padding:-padding, padding:-padding] = x
+    return out
+
+
+def batched_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution for E members in one fused pass.
+
+    ``weight`` is ``(E, out_c, in_c, kh, kw)``.  For a shared 4-D input the
+    image is lowered once and all E kernels apply as a single
+    ``(E·out_c, C·kh·kw)`` matmul; for a per-member 5-D input the lowering
+    runs over the folded ``E·N`` batch and a single batched matmul contracts
+    each member with its own kernel.  Output is ``(E, N, out_c, oh, ow)``.
+    """
+    e, out_c, in_c, kh, kw = weight.shape
+    shared = x.ndim == 4
+    if shared:
+        n, c, h, w = x.shape
+    elif x.ndim == 5:
+        xe, n, c, h, w = x.shape
+        if xe != e:
+            raise ValueError(f"input carries {xe} members, weight has {e}")
+    else:
+        raise ValueError(f"expected 4-D (shared) or 5-D input, got {x.shape}")
+    if c != in_c:
+        raise ValueError(f"weight expects {in_c} input channels, got {c}")
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"convolution output would be empty for input {x.shape}")
+    k = in_c * kh * kw
+    length = out_h * out_w
+    hp, wp = h + 2 * padding, w + 2 * padding
+
+    if shared:
+        x_pad = _pad_spatial(x.data, padding)
+        cols = _im2col(x_pad, kh, kw, stride)  # (N, K, L)
+        w2 = weight.data.reshape(e * out_c, k)
+        out = np.matmul(w2[None, :, :], cols)  # (N, E*out_c, L)
+        out = np.ascontiguousarray(
+            out.reshape(n, e, out_c, out_h, out_w).transpose(1, 0, 2, 3, 4)
+        )
+    else:
+        x_pad = _pad_spatial(x.data, padding)
+        cols = _im2col(x_pad.reshape(e * n, c, hp, wp), kh, kw, stride)
+        cols = cols.reshape(e, n, k, length)
+        w2 = weight.data.reshape(e, out_c, k)
+        out = np.matmul(w2[:, None, :, :], cols).reshape(e, n, out_c, out_h, out_w)
+    profiling.record("conv2d", 2 * e * n * out_c * out_h * out_w * in_c * kh * kw)
+    if bias is not None:
+        out = out + bias.data.reshape(e, 1, out_c, 1, 1)
+        profiling.record("bias", e * n * out_c * out_h * out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(1, 3, 4)))
+        if shared:
+            g2 = np.ascontiguousarray(g.transpose(1, 0, 2, 3, 4)).reshape(
+                n, e * out_c, length
+            )
+            if weight.requires_grad:
+                dw = np.einsum("nol,nkl->ok", g2, cols, optimize=True)
+                weight._accumulate(dw.reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.matmul(w2.T[None, :, :], g2)  # (N, K, L)
+                x._accumulate(
+                    _col2im(dcols, x.shape, kh, kw, stride, padding, out_h, out_w)
+                )
+        else:
+            g2 = g.reshape(e, n, out_c, length)
+            if weight.requires_grad:
+                dw = np.einsum("enol,enkl->eok", g2, cols, optimize=True)
+                weight._accumulate(dw.reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.matmul(w2.transpose(0, 2, 1)[:, None, :, :], g2)
+                dx = _col2im(
+                    dcols.reshape(e * n, k, length), (e * n, c, h, w),
+                    kh, kw, stride, padding, out_h, out_w,
+                )
+                x._accumulate(dx.reshape(e, n, c, h, w))
+
+    return Tensor._make(out, parents, backward)
+
+
+def batched_batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation with per-member affine/statistics ``(E, C)``.
+
+    Matches :func:`repro.nn.functional.batch_norm2d` per member: batch
+    statistics and in-place running-stat updates in training mode, running
+    statistics in eval mode.  A shared 4-D input broadcasts against the
+    per-member parameters, so the output always carries the ensemble axis.
+    """
+    e, c = gamma.shape
+    shared = x.ndim == 4
+    members = 1 if shared else e
+    profiling.record("batch_norm", 4 * e * (x.size // members))
+    if not training:
+        # Eval hot path: fold mean/var/affine into one scale-and-shift pair,
+        # so the full-size tensor is touched twice instead of four times.
+        # Gradients to gamma/beta flow through the small (E, C) precompute.
+        inv_std = Tensor(1.0 / np.sqrt(running_var + eps))
+        scale = gamma * inv_std
+        shift = beta - Tensor(running_mean) * scale
+        return x * scale.reshape(e, 1, c, 1, 1) + shift.reshape(e, 1, c, 1, 1)
+    axes = (0, 2, 3) if shared else (1, 3, 4)
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    if shared:
+        batch = x.shape[0] * x.shape[2] * x.shape[3]
+    else:
+        batch = x.shape[1] * x.shape[3] * x.shape[4]
+    unbiased = var.data * batch / max(batch - 1, 1)
+    rows = (1, c) if shared else (e, c)
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean.data.reshape(rows)
+    running_var *= 1.0 - momentum
+    running_var += momentum * unbiased.reshape(rows)
+    x_hat = (x - mean) / (var + eps).sqrt()
+    return x_hat * gamma.reshape(e, 1, c, 1, 1) + beta.reshape(e, 1, c, 1, 1)
+
+
+def _fold_spatial(x: Tensor, op: Callable[[Tensor], Tensor]) -> Tensor:
+    """Apply a per-sample NCHW op by folding the ensemble axis into the batch."""
+    if x.ndim == 4:
+        return op(x)
+    e, n = x.shape[0], x.shape[1]
+    out = op(x.reshape(e * n, *x.shape[2:]))
+    return out.reshape(e, n, *out.shape[1:])
+
+
+def batched_max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+                       padding: int = 0) -> Tensor:
+    """Max pooling over ``(E, N, C, H, W)`` (or shared NCHW) input."""
+    return _fold_spatial(x, lambda t: F.max_pool2d(t, kernel_size, stride, padding))
+
+
+def batched_avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+                       padding: int = 0) -> Tensor:
+    """Average pooling over ``(E, N, C, H, W)`` (or shared NCHW) input."""
+    return _fold_spatial(x, lambda t: F.avg_pool2d(t, kernel_size, stride, padding))
+
+
+def batched_global_avg_pool2d(x: Tensor) -> Tensor:
+    """Spatial global average pooling; ``(E, N, C, H, W)`` -> ``(E, N, C)``."""
+    return x.mean(axis=(-2, -1))
+
+
+# ----------------------------------------------------------------------
+# Stacking registry
+# ----------------------------------------------------------------------
+
+_STACKERS: dict[type, Callable[[list[Module]], "StackedModule"]] = {}
+
+
+def register_stacker(module_type: type):
+    """Register the stacked counterpart of ``module_type``.
+
+    The decorated callable receives the list of source modules and returns
+    the stacked module; composite layers outside this package (residual
+    blocks, full bodies) use this to plug into :func:`stack_modules`.
+    """
+
+    def decorator(factory):
+        _STACKERS[module_type] = factory
+        return factory
+
+    return decorator
+
+
+def stack_modules(modules: Iterable[Module]) -> "StackedModule":
+    """Compile architecturally identical modules into one stacked module.
+
+    Raises :class:`UnstackableError` for heterogeneous lists or module types
+    without a registered stacker — callers treat that as "use the looped
+    path", never as a hard failure.
+    """
+    modules = list(modules)
+    if not modules:
+        raise ValueError("need at least one module to stack")
+    first_type = type(modules[0])
+    if any(type(m) is not first_type for m in modules):
+        names = sorted({type(m).__name__ for m in modules})
+        raise UnstackableError(f"heterogeneous module types: {names}")
+    factory = _STACKERS.get(first_type)
+    if factory is None:
+        raise UnstackableError(f"no stacker registered for {first_type.__name__}")
+    return factory(modules)
+
+
+def common_attr(modules: list[Module], name: str):
+    """The shared value of ``name`` across members, or :class:`UnstackableError`."""
+    values = {getattr(m, name) for m in modules}
+    if len(values) != 1:
+        raise UnstackableError(f"members disagree on {name}: {sorted(values, key=repr)}")
+    return values.pop()
+
+
+class StackedModule(Module):
+    """Base class for modules mirroring E identical source modules.
+
+    ``sync_from`` pulls the source modules' parameters/buffers into the
+    stacked arrays; ``unstack_to`` writes them back.  The default
+    implementations recurse structurally — stacked children are matched to
+    same-named attributes of the source modules — so only parameter-holding
+    leaves override them.
+    """
+
+    num_stacked: int = 0
+
+    def _check_arity(self, modules: list[Module]) -> list[Module]:
+        modules = list(modules)
+        if len(modules) != self.num_stacked:
+            raise ValueError(f"expected {self.num_stacked} modules, got {len(modules)}")
+        return modules
+
+    def sync_from(self, modules: list[Module]) -> "StackedModule":
+        modules = self._check_arity(modules)
+        for name, child in self._modules.items():
+            child.sync_from([getattr(m, name) for m in modules])
+        return self
+
+    def unstack_to(self, modules: list[Module]) -> "StackedModule":
+        modules = self._check_arity(modules)
+        for name, child in self._modules.items():
+            child.unstack_to([getattr(m, name) for m in modules])
+        return self
+
+
+# ----------------------------------------------------------------------
+# Stacked leaves
+# ----------------------------------------------------------------------
+
+
+def _stacked_parameter(tensors: list[Tensor]) -> Parameter:
+    shapes = {t.shape for t in tensors}
+    if len(shapes) != 1:
+        raise UnstackableError(f"parameter shapes differ: {sorted(shapes)}")
+    param = Parameter(np.stack([t.data for t in tensors]))
+    param.requires_grad = any(t.requires_grad for t in tensors)
+    return param
+
+
+@register_stacker(Conv2d)
+class StackedConv2d(StackedModule):
+    """E convolutions fused into one :func:`batched_conv2d` call."""
+
+    def __init__(self, convs: list[Conv2d]):
+        super().__init__()
+        self.num_stacked = len(convs)
+        self.stride = common_attr(convs, "stride")
+        self.padding = common_attr(convs, "padding")
+        if len({conv.bias is None for conv in convs}) != 1:
+            raise UnstackableError("members disagree on conv bias")
+        self.weight = _stacked_parameter([conv.weight for conv in convs])
+        self.bias = (_stacked_parameter([conv.bias for conv in convs])
+                     if convs[0].bias is not None else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_conv2d(x, self.weight, self.bias, stride=self.stride,
+                              padding=self.padding)
+
+    def sync_from(self, convs: list[Conv2d]) -> "StackedConv2d":
+        convs = self._check_arity(convs)
+        self.weight.data = np.stack([conv.weight.data for conv in convs])
+        self.weight.requires_grad = any(conv.weight.requires_grad for conv in convs)
+        if self.bias is not None:
+            self.bias.data = np.stack([conv.bias.data for conv in convs])
+            self.bias.requires_grad = any(conv.bias.requires_grad for conv in convs)
+        return self
+
+    def unstack_to(self, convs: list[Conv2d]) -> "StackedConv2d":
+        convs = self._check_arity(convs)
+        for i, conv in enumerate(convs):
+            conv.weight.data = self.weight.data[i].copy()
+            if self.bias is not None:
+                conv.bias.data = self.bias.data[i].copy()
+        return self
+
+
+@register_stacker(Linear)
+class StackedLinear(StackedModule):
+    """E affine layers fused into one :func:`batched_linear` call."""
+
+    def __init__(self, linears: list[Linear]):
+        super().__init__()
+        self.num_stacked = len(linears)
+        self.in_features = common_attr(linears, "in_features")
+        self.out_features = common_attr(linears, "out_features")
+        if len({lin.bias is None for lin in linears}) != 1:
+            raise UnstackableError("members disagree on linear bias")
+        self.weight = _stacked_parameter([lin.weight for lin in linears])
+        self.bias = (_stacked_parameter([lin.bias for lin in linears])
+                     if linears[0].bias is not None else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_linear(x, self.weight, self.bias)
+
+    def sync_from(self, linears: list[Linear]) -> "StackedLinear":
+        linears = self._check_arity(linears)
+        self.weight.data = np.stack([lin.weight.data for lin in linears])
+        self.weight.requires_grad = any(lin.weight.requires_grad for lin in linears)
+        if self.bias is not None:
+            self.bias.data = np.stack([lin.bias.data for lin in linears])
+            self.bias.requires_grad = any(lin.bias.requires_grad for lin in linears)
+        return self
+
+    def unstack_to(self, linears: list[Linear]) -> "StackedLinear":
+        linears = self._check_arity(linears)
+        for i, lin in enumerate(linears):
+            lin.weight.data = self.weight.data[i].copy()
+            if self.bias is not None:
+                lin.bias.data = self.bias.data[i].copy()
+        return self
+
+
+@register_stacker(BatchNorm2d)
+class StackedBatchNorm2d(StackedModule):
+    """E batch-norm layers with stacked ``(E, C)`` affine and running stats."""
+
+    def __init__(self, bns: list[BatchNorm2d]):
+        super().__init__()
+        self.num_stacked = len(bns)
+        self.num_features = common_attr(bns, "num_features")
+        self.momentum = common_attr(bns, "momentum")
+        self.eps = common_attr(bns, "eps")
+        self.gamma = _stacked_parameter([bn.gamma for bn in bns])
+        self.beta = _stacked_parameter([bn.beta for bn in bns])
+        self.register_buffer("running_mean", np.stack([bn.running_mean for bn in bns]))
+        self.register_buffer("running_var", np.stack([bn.running_var for bn in bns]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_batch_norm2d(x, self.gamma, self.beta, self.running_mean,
+                                    self.running_var, training=self.training,
+                                    momentum=self.momentum, eps=self.eps)
+
+    def sync_from(self, bns: list[BatchNorm2d]) -> "StackedBatchNorm2d":
+        bns = self._check_arity(bns)
+        self.gamma.data = np.stack([bn.gamma.data for bn in bns])
+        self.gamma.requires_grad = any(bn.gamma.requires_grad for bn in bns)
+        self.beta.data = np.stack([bn.beta.data for bn in bns])
+        self.beta.requires_grad = any(bn.beta.requires_grad for bn in bns)
+        self.running_mean[...] = np.stack([bn.running_mean for bn in bns])
+        self.running_var[...] = np.stack([bn.running_var for bn in bns])
+        return self
+
+    def unstack_to(self, bns: list[BatchNorm2d]) -> "StackedBatchNorm2d":
+        bns = self._check_arity(bns)
+        for i, bn in enumerate(bns):
+            bn.gamma.data = self.gamma.data[i].copy()
+            bn.beta.data = self.beta.data[i].copy()
+            bn.running_mean[...] = self.running_mean[i]
+            bn.running_var[...] = self.running_var[i]
+        return self
+
+
+# ----------------------------------------------------------------------
+# Stateless stacked layers
+# ----------------------------------------------------------------------
+
+
+@register_stacker(ReLU)
+class StackedReLU(StackedModule):
+    def __init__(self, mods: list[ReLU]):
+        super().__init__()
+        self.num_stacked = len(mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+@register_stacker(Identity)
+class StackedIdentity(StackedModule):
+    def __init__(self, mods: list[Identity]):
+        super().__init__()
+        self.num_stacked = len(mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+@register_stacker(MaxPool2d)
+class StackedMaxPool2d(StackedModule):
+    def __init__(self, mods: list[MaxPool2d]):
+        super().__init__()
+        self.num_stacked = len(mods)
+        self.kernel_size = common_attr(mods, "kernel_size")
+        self.stride = common_attr(mods, "stride")
+        self.padding = common_attr(mods, "padding")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+@register_stacker(AvgPool2d)
+class StackedAvgPool2d(StackedModule):
+    def __init__(self, mods: list[AvgPool2d]):
+        super().__init__()
+        self.num_stacked = len(mods)
+        self.kernel_size = common_attr(mods, "kernel_size")
+        self.stride = common_attr(mods, "stride")
+        self.padding = common_attr(mods, "padding")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+@register_stacker(GlobalAvgPool2d)
+class StackedGlobalAvgPool2d(StackedModule):
+    def __init__(self, mods: list[GlobalAvgPool2d]):
+        super().__init__()
+        self.num_stacked = len(mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_global_avg_pool2d(x)
+
+
+@register_stacker(Flatten)
+class StackedFlatten(StackedModule):
+    """Flatten per member; a 5-D input keeps its leading ensemble axis."""
+
+    def __init__(self, mods: list[Flatten]):
+        super().__init__()
+        self.num_stacked = len(mods)
+        self.start_dim = common_attr(mods, "start_dim")
+
+    def forward(self, x: Tensor) -> Tensor:
+        start = self.start_dim + 1 if x.ndim == 5 else self.start_dim
+        return x.flatten(start)
+
+
+@register_stacker(Sequential)
+class StackedSequential(StackedModule):
+    """Child-wise stacking of E equally long sequential containers."""
+
+    def __init__(self, seqs: list[Sequential]):
+        super().__init__()
+        self.num_stacked = len(seqs)
+        lengths = {len(seq) for seq in seqs}
+        if len(lengths) != 1:
+            raise UnstackableError(f"sequential lengths differ: {sorted(lengths)}")
+        for i in range(lengths.pop()):
+            setattr(self, str(i), stack_modules([seq[i] for seq in seqs]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._modules.values():
+            x = layer(x)
+        return x
+
+
+# ----------------------------------------------------------------------
+# StackedBodies — the server's fused N-body pass
+# ----------------------------------------------------------------------
+
+
+class StackedBodies(StackedModule):
+    """All N server bodies compiled into one fused batched forward.
+
+    ``forward`` takes the shared uploaded features ``(N, C, H, W)`` and
+    returns the stacked outputs ``(E, N, ...)``; ``forward_list`` unbinds
+    them into the per-body list the protocol transmits.  The stacked
+    parameters are a *copy* of the source bodies' — call :meth:`sync_from`
+    after mutating the bodies (or :meth:`unstack_to` after fine-tuning the
+    stacked copy) to keep the two representations interchangeable.
+    """
+
+    def __init__(self, bodies: list[Module]):
+        super().__init__()
+        bodies = list(bodies)
+        if not bodies:
+            raise ValueError("need at least one body to stack")
+        self.num_stacked = len(bodies)
+        self.stacked = stack_modules(bodies)
+        # Stacked trees with any state (parameters OR buffers, e.g. a pure
+        # FixedGaussianNoise ensemble) emit the ensemble axis themselves;
+        # only fully stateless trees pass the shared input through unchanged.
+        self._parametric = (len(self.stacked.parameters()) > 0
+                            or next(self.stacked.named_buffers(), None) is not None)
+
+    @classmethod
+    def try_build(cls, bodies: list[Module], eval_mode: bool | None = None
+                  ) -> "StackedBodies | None":
+        """Build a stacked engine, or ``None`` when the bodies can't be fused.
+
+        The standard construct-or-fall-back used everywhere a batched backend
+        is optional.  ``eval_mode`` forces train/eval on the result; ``None``
+        inherits the first body's mode.
+        """
+        try:
+            stacked = cls(bodies)
+        except UnstackableError:
+            return None
+        mode = bodies[0].training if eval_mode is None else not eval_mode
+        stacked.train(mode)
+        return stacked
+
+    @property
+    def num_bodies(self) -> int:
+        return self.num_stacked
+
+    def forward(self, features: Tensor) -> Tensor:
+        out = self.stacked(features)
+        if not self._parametric:
+            # Degenerate all-stateless ensemble: the shared input passed
+            # through untouched, so materialise the ensemble axis explicitly.
+            out = tensor_stack([out] * self.num_stacked)
+        return out
+
+    def forward_list(self, features: Tensor) -> list[Tensor]:
+        return unbind(self.forward(features))
+
+    def sync_from(self, bodies: list[Module]) -> "StackedBodies":
+        bodies = self._check_arity(bodies)
+        self.stacked.sync_from(bodies)
+        return self
+
+    def unstack_to(self, bodies: list[Module]) -> "StackedBodies":
+        bodies = self._check_arity(bodies)
+        self.stacked.unstack_to(bodies)
+        return self

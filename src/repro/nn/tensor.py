@@ -344,12 +344,12 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         a = self
-        mask = a.data > 0
 
         def backward(g):
-            a._accumulate(g * mask)
+            # Mask computed lazily: inference never pays for it.
+            a._accumulate(g * (a.data > 0))
 
-        return Tensor._make(np.where(mask, a.data, 0.0), (a,), backward)
+        return Tensor._make(np.maximum(a.data, 0.0), (a,), backward)
 
     def abs(self) -> "Tensor":
         a = self
