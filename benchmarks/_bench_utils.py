@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark record files (BENCH_*.json).
+
+Every benchmark appends its run record to a per-file history list at the
+repo root, so the perf trajectory accumulates across PRs.  The helpers live
+here so the serialization format cannot fork between benchmarks; the bench
+modules put this directory on ``sys.path`` before importing (benchmarks/ is
+deliberately not a package so its files stay runnable as plain scripts).
+"""
+
+import json
+from pathlib import Path
+
+
+def load_history(path: Path) -> list[dict]:
+    """The accumulated record list (a legacy single-record file is wrapped)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    return data if isinstance(data, list) else [data]
+
+
+def write_record(record: dict, path: Path) -> Path:
+    """Append ``record`` to the per-PR history list at ``path``."""
+    history = load_history(path)
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return path

@@ -6,13 +6,13 @@ Times ``server_outputs`` over N resnet-style bodies on both backends:
 * **batched** — the fused :class:`~repro.nn.batched.StackedBodies` pass.
 
 Run as pytest (``pytest benchmarks/bench_ensemble.py -s``) or directly
-(``python benchmarks/bench_ensemble.py``).  Either way a ``BENCH_ensemble.json``
-record is written at the repo root so the perf trajectory accumulates
-across PRs; the pytest entry additionally asserts the acceptance bar
-(batched ≥ 2x for N=8, outputs matching to ≤ 1e-5).
+(``python benchmarks/bench_ensemble.py``).  Either way a record is appended
+to the ``BENCH_ensemble.json`` history list at the repo root so the perf
+trajectory accumulates across PRs/runs; the pytest entry additionally
+asserts the acceptance bar (batched ≥ 2x for N=8, outputs matching to
+≤ 1e-5).
 """
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -22,7 +22,10 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # allow `python benchmarks/bench_ensemble.py`
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from _bench_utils import load_history, write_record as _write_record  # noqa: E402
 from repro.models.resnet import ResNetBody, ResNetConfig  # noqa: E402
 from repro.nn.batched import StackedBodies  # noqa: E402
 from repro.nn.tensor import Tensor, no_grad  # noqa: E402
@@ -108,8 +111,8 @@ def run_benchmark(body_counts=BODY_COUNTS, batch_size=BATCH_SIZE, width=WIDTH,
 
 
 def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
-    path.write_text(json.dumps(record, indent=2) + "\n")
-    return path
+    """Append ``record`` to the per-PR history list at ``path``."""
+    return _write_record(record, path)
 
 
 def print_record(record: dict) -> None:

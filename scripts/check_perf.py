@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""Perf smoke check: the fused batched-ensemble pass must beat the loop.
+"""Perf smoke check: the fused engines must beat their Python loops.
 
-Fails (exit code 1) if batched execution is slower than looped
-``server_outputs`` for any N >= 5 — the regime the Ensembler protocol
-actually serves (the paper runs N=10).  Intended for CI and pre-merge
-checks; the full trajectory benchmark lives in
-``benchmarks/bench_ensemble.py``.
+Two gates, both intended for CI and pre-merge checks (the full trajectory
+benchmarks live in ``benchmarks/``):
+
+* **ensemble** — the batched N-body pass must not be slower than looped
+  ``server_outputs`` for any N >= 5 (the regime the Ensembler protocol
+  actually serves; the paper runs N=10), with outputs matching to 1e-5.
+* **attack** — the fused multi-attack subset sweep must not be slower than
+  the looped per-subset loop for K >= 7 subsets (the brute-force regime;
+  even N=4 with leaked P=2 already enumerates C(4,2)+ subsets).
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -18,35 +22,63 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def load_bench():
-    """Import benchmarks/bench_ensemble.py (benchmarks/ is not a package)."""
+def load_bench(name: str):
+    """Import a benchmarks/ module by file (benchmarks/ is not a package)."""
     spec = importlib.util.spec_from_file_location(
-        "bench_ensemble", REPO_ROOT / "benchmarks" / "bench_ensemble.py")
+        name, REPO_ROOT / "benchmarks" / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
-def main() -> int:
-    bench = load_bench()
+def check_ensemble() -> list[str]:
+    bench = load_bench("bench_ensemble")
     record = bench.run_benchmark(body_counts=(5, 8), repeats=3)
     bench.print_record(record)
     failures = []
     for row in record["results"]:
         if row["max_abs_diff"] > 1e-5:
             failures.append(
-                f"N={row['num_nets']}: backends diverge "
+                f"ensemble N={row['num_nets']}: backends diverge "
                 f"(max abs diff {row['max_abs_diff']:.2e} > 1e-5)")
         if row["num_nets"] >= 5 and row["speedup"] < 1.0:
             failures.append(
-                f"N={row['num_nets']}: batched is SLOWER than looped "
+                f"ensemble N={row['num_nets']}: batched is SLOWER than looped "
                 f"({row['speedup']:.2f}x)")
+    return failures
+
+
+def check_attack(attempts: int = 2) -> list[str]:
+    """Wall-clock gates on shared runners are noisy: best-of-3 timing per
+    attempt, and one clean re-measure before declaring a regression."""
+    bench = load_bench("bench_attack")
+    failures = []
+    for attempt in range(attempts):
+        record = bench.run_benchmark(subset_counts=(7, 15), repeats=3)
+        bench.print_record(record)
+        failures = []
+        for row in record["results"]:
+            if row["num_subsets"] >= 7 and row["speedup"] < 1.0:
+                failures.append(
+                    f"attack K={row['num_subsets']}: fused sweep is SLOWER than "
+                    f"looped ({row['speedup']:.2f}x)")
+        if not failures:
+            break
+        if attempt + 1 < attempts:
+            print("\nattack gate below 1.0x; re-measuring once to rule out "
+                  "scheduler noise...")
+    return failures
+
+
+def main() -> int:
+    failures = check_ensemble() + check_attack()
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nperf check ok: batched >= looped for all N >= 5")
+    print("\nperf check ok: batched >= looped for N >= 5, "
+          "fused attack >= looped for K >= 7")
     return 0
 
 

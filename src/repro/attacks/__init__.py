@@ -12,13 +12,14 @@ from repro.attacks.evaluation import (
     run_adaptive_attack,
     run_single_net_attacks,
 )
-from repro.attacks.mia import AttackArtifacts, AttackConfig, InversionAttack
+from repro.attacks.mia import AttackArtifacts, AttackConfig, InversionAttack, MemberRngs
 
 __all__ = [
     "AttackArtifacts",
     "AttackConfig",
     "BruteForceOutcome",
     "InversionAttack",
+    "MemberRngs",
     "ReconstructionMetrics",
     "best_single_net",
     "brute_force_attack",

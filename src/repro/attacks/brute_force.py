@@ -39,21 +39,41 @@ def brute_force_attack(
     probe_images: np.ndarray,
     known_p: int | None = None,
     max_subsets: int | None = None,
+    backend: str = "fused",
+    chunk_size: int = 8,
 ) -> BruteForceOutcome:
     """Enumerate candidate selector subsets and attack each one.
 
     ``known_p`` restricts to subsets of the leaked size; ``max_subsets``
     truncates the enumeration (for tests), with the truncation reflected in
     ``subsets_tried`` versus ``search_space``.
+
+    ``backend="fused"`` chunks the enumeration through the multi-attack
+    engine (:meth:`~repro.attacks.mia.InversionAttack.attack_subsets`):
+    consecutive equally-sized subsets — the enumeration order groups them
+    naturally — train their shadows and decoders as one stacked pass of up
+    to ``chunk_size`` members, instead of one full training per subset.
+    ``backend="looped"`` keeps the reference per-subset loop; both backends
+    consume identical RNG streams per subset.
+
+    Each chunk's artifacts are evaluated and dropped before the next chunk
+    trains, so peak memory stays O(``chunk_size``) trained networks even for
+    the full ``2^N - 1`` enumeration, not O(K).
     """
     num_nets = len(defense.bodies)
     space = brute_force_search_space(num_nets, known_p)
-    results = []
+    subsets = []
     for count, subset in enumerate(enumerate_subsets(num_nets, known_p)):
         if max_subsets is not None and count >= max_subsets:
             break
-        artifacts = attack.attack_subset(list(defense.bodies), subset)
-        results.append((subset, evaluate_reconstruction(defense, artifacts, probe_images)))
+        subsets.append(subset)
+    bodies = list(defense.bodies)
+    results = []
+    for _, chunk in InversionAttack.iter_subset_chunks(subsets, chunk_size):
+        artifacts = attack.attack_subsets(bodies, chunk, backend=backend,
+                                          chunk_size=chunk_size)
+        results.extend((subset, evaluate_reconstruction(defense, one, probe_images))
+                       for subset, one in zip(chunk, artifacts))
     return BruteForceOutcome(tuple(results), space, len(results))
 
 

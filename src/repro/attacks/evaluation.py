@@ -64,15 +64,19 @@ def run_single_net_attacks(
     attack: InversionAttack,
     probe_images: np.ndarray,
     traffic_images: np.ndarray | None = None,
+    backend: str = "fused",
 ) -> list[ReconstructionMetrics]:
-    """Mount the Proposition-1 attack against every server body separately."""
+    """Mount the Proposition-1 attack against every server body separately.
+
+    ``backend="fused"`` trains the N shadow/decoder pairs as stacked passes
+    through the multi-attack engine; ``backend="looped"`` runs the reference
+    one-training-per-body loop on the same RNG streams.
+    """
     if traffic_images is not None:
         observe_victim_traffic(defense, attack, traffic_images)
-    results = []
-    for index, body in enumerate(defense.bodies):
-        artifacts = attack.attack_single(body, index=index)
-        results.append(evaluate_reconstruction(defense, artifacts, probe_images))
-    return results
+    artifacts_list = attack.attack_all_single(list(defense.bodies), backend=backend)
+    return [evaluate_reconstruction(defense, artifacts, probe_images)
+            for artifacts in artifacts_list]
 
 
 def run_adaptive_attack(

@@ -39,6 +39,7 @@ from repro.nn.batched import (
     StackedBatchNorm2d,
     StackedBodies,
     UnstackableError,
+    batched_cross_entropy,
     stack_modules,
     unbind,
 )
@@ -78,6 +79,16 @@ class TrainingConfig(FrozenConfig):
             return nn.Adam(params, lr=self.lr, weight_decay=self.weight_decay)
         return nn.SGD(params, lr=self.lr, momentum=self.momentum,
                       weight_decay=self.weight_decay)
+
+    def build_stacked_optimizer(self, params: list[nn.Parameter],
+                                num_stacked: int) -> nn.Optimizer:
+        """Fused multi-net variant: per-member state along the ensemble axis."""
+        if self.optimizer == "adam":
+            return nn.StackedAdam(params, num_stacked, lr=self.lr,
+                                  weight_decay=self.weight_decay)
+        return nn.StackedSGD(params, num_stacked, lr=self.lr,
+                             momentum=self.momentum,
+                             weight_decay=self.weight_decay)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -137,6 +148,54 @@ def run_sgd(
         history.append(float(np.mean(losses)))
         logger.debug("epoch %d loss %.4f", epoch, history[-1])
     return history
+
+
+def run_stacked_sgd(
+    params: list[nn.Parameter],
+    loss_fn: Callable[[np.ndarray, np.ndarray], Tensor],
+    dataset: ArrayDataset,
+    config: TrainingConfig,
+    rngs: list[np.random.Generator],
+) -> list[list[float]]:
+    """Fused sibling of :func:`run_sgd`: train E member networks in one pass.
+
+    ``loss_fn(images, labels)`` receives stacked ``(E, B, ...)`` batches —
+    member ``e``'s row drawn by its own shuffle stream ``rngs[e]`` — and must
+    return the ``(E,)`` per-member loss vector (see
+    :func:`repro.nn.batched.batched_cross_entropy`).  The sum of the vector
+    backpropagates each member's own gradient into the stacked parameters
+    and one elementwise optimiser step advances all members, so the result
+    matches E independent :func:`run_sgd` runs with the same per-member RNG
+    streams (up to float reassociation in the batched kernels).  Returns the
+    per-member epoch-loss histories ``[E][epochs]``.
+    """
+    if not rngs:
+        raise ValueError("need at least one member RNG stream")
+    optimizer = config.build_stacked_optimizer(params, len(rngs))
+    loaders = [DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+               for rng in rngs]
+    histories: list[list[float]] = [[] for _ in rngs]
+    for epoch in range(config.epochs):
+        sums = np.zeros(len(rngs), dtype=np.float64)
+        batches_seen = 0
+        for member_batches in zip(*loaders):
+            images = np.stack([images for images, _ in member_batches])
+            labels = np.stack([labels for _, labels in member_batches])
+            optimizer.zero_grad()
+            member_losses = loss_fn(images, labels)
+            if member_losses.shape != (len(rngs),):
+                raise ValueError(
+                    f"loss_fn must return the (E,) per-member loss vector, got "
+                    f"shape {member_losses.shape}")
+            member_losses.sum().backward()
+            optimizer.step()
+            sums += member_losses.data.astype(np.float64)
+            batches_seen += 1
+        for member, history in enumerate(histories):
+            history.append(float(sums[member] / batches_seen))
+        logger.debug("epoch %d mean member loss %.4f", epoch,
+                     float(sums.mean() / batches_seen))
+    return histories
 
 
 def recalibrate_batchnorm(
@@ -220,31 +279,76 @@ class EnsemblerTrainer:
     # -- stage 1 -----------------------------------------------------------
     def train_stage1(self, dataset: ArrayDataset) -> tuple[list[ResNet], list[nn.Module],
                                                            list[list[float]]]:
-        """Train the N distinct networks of Eq. 2."""
+        """Train the N distinct networks of Eq. 2.
+
+        With the batched backend the N independent trainings run as one
+        fused multi-net pass (:func:`run_stacked_sgd`): the N parameter sets
+        stack along the ensemble axis, each net keeps its own batch-shuffle
+        stream, loss and optimiser state, and one elementwise update per
+        step advances all N.  The RNG spawn order (net init, noise map, SGD
+        stream, per net) matches the looped path exactly, so both backends
+        consume identical random streams; ensembles that cannot be stacked
+        (e.g. DR-N's dropout noise) fall back to the per-net loop.
+        """
         nets: list[ResNet] = []
         noises: list[nn.Module] = []
-        histories: list[list[float]] = []
-        for index in range(self.config.num_nets):
+        sgd_rngs: list[np.random.Generator] = []
+        for _ in range(self.config.num_nets):
             net = ResNet(self.model_config, rng=spawn_rng(self.rng))
             noise = self.noise_factory(self.intermediate_shape, spawn_rng(self.rng))
             net.train()
             noise.train()
-
-            def loss_fn(images, labels, net=net, noise=noise):
-                features = noise(net.head(Tensor(images)))
-                logits = net.tail(net.body(features))
-                return F.cross_entropy(logits, labels)
-
-            history = run_sgd(net.parameters(), loss_fn, dataset, self.config.stage1,
-                              spawn_rng(self.rng))
-            logger.info("stage1 net %d final loss %.4f", index, history[-1])
             nets.append(net)
             noises.append(noise)
-            histories.append(history)
+            sgd_rngs.append(spawn_rng(self.rng))
+        histories = None
+        if self.config.backend == "batched" and len(nets) > 1:
+            histories = self._train_stage1_fused(nets, noises, dataset, sgd_rngs)
+        if histories is None:
+            histories = []
+            for index, (net, noise, sgd_rng) in enumerate(zip(nets, noises, sgd_rngs)):
+                def loss_fn(images, labels, net=net, noise=noise):
+                    features = noise(net.head(Tensor(images)))
+                    logits = net.tail(net.body(features))
+                    return F.cross_entropy(logits, labels)
+
+                history = run_sgd(net.parameters(), loss_fn, dataset,
+                                  self.config.stage1, sgd_rng)
+                logger.info("stage1 net %d final loss %.4f", index, history[-1])
+                histories.append(history)
         self._recalibrate_stage1(nets, noises, dataset)
         for net in nets:
             net.eval()
         return nets, noises, histories
+
+    def _train_stage1_fused(self, nets: list[ResNet], noises: list[nn.Module],
+                            dataset: ArrayDataset,
+                            sgd_rngs: list[np.random.Generator]
+                            ) -> list[list[float]] | None:
+        """One fused multi-net SGD pass over all N stage-1 networks.
+
+        Returns the per-net histories, or ``None`` when the ensemble cannot
+        be stacked (the caller then runs the reference per-net loop).
+        """
+        try:
+            stacked_nets = stack_modules(nets)
+            stacked_noise = stack_modules(noises)
+        except UnstackableError:
+            return None
+        stacked_nets.train(True)
+        stacked_noise.train(True)
+
+        def loss_fn(images, labels):
+            features = stacked_noise(stacked_nets.head(Tensor(images)))
+            logits = stacked_nets.tail(stacked_nets.body(features))
+            return batched_cross_entropy(logits, labels)
+
+        histories = run_stacked_sgd(stacked_nets.parameters(), loss_fn, dataset,
+                                    self.config.stage1, sgd_rngs)
+        stacked_nets.unstack_to(nets)
+        for index, history in enumerate(histories):
+            logger.info("stage1 net %d final loss %.4f", index, history[-1])
+        return histories
 
     def _recalibrate_stage1(self, nets: list[ResNet], noises: list[nn.Module],
                             dataset: ArrayDataset) -> None:

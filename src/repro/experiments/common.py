@@ -61,6 +61,12 @@ class ExperimentPreset:
                 return spec
         raise KeyError(f"preset '{self.name}' has no dataset '{key}'")
 
+    @property
+    def attack_backend(self) -> str:
+        """The matching multi-attack backend: fused sweeps iff the ensemble
+        execution is batched, so one switch flips the whole experiment."""
+        return "fused" if self.backend == "batched" else "looped"
+
     def ensembler_config(self, spec: DatasetSpec) -> EnsemblerConfig:
         return EnsemblerConfig(
             num_nets=self.num_nets,

@@ -64,3 +64,17 @@ def build_decoder(feature_shape: tuple[int, int, int], image_shape: tuple[int, i
         nn.Sigmoid(),
     ])
     return nn.Sequential(*layers)
+
+
+def build_decoders(feature_shape: tuple[int, int, int], image_shape: tuple[int, int, int],
+                   rngs: list[np.random.Generator], width: int = 32,
+                   use_transposed: bool = True) -> list[nn.Sequential]:
+    """K architecturally identical decoders with independent init streams.
+
+    Every layer type in the tree (``Conv2d``, ``ConvTranspose2d``,
+    ``UpsampleNearest2d``, ``ReLU``, ``Sigmoid``) has a registered stacker,
+    so the members compile through :func:`repro.nn.batched.stack_modules`
+    and the multi-attack engine trains all K as one fused pass.
+    """
+    return [build_decoder(feature_shape, image_shape, width=width,
+                          use_transposed=use_transposed, rng=rng) for rng in rngs]

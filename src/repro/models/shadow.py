@@ -13,6 +13,7 @@ import numpy as np
 
 from repro import nn
 from repro.models.resnet import ResNetConfig
+from repro.nn import batched
 from repro.utils.rng import new_rng
 
 
@@ -37,6 +38,32 @@ class ShadowHead(nn.Module):
         self.bn2 = nn.BatchNorm2d(channels)
         self.conv3 = nn.Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
         self.bn3 = nn.BatchNorm2d(channels)
+
+    def forward(self, x):
+        out = self.pool(self.bn1(self.conv1(x)).relu())
+        out = self.bn2(self.conv2(out)).relu()
+        return self.bn3(self.conv3(out)).relu()
+
+
+@batched.register_stacker(ShadowHead)
+class StackedShadowHead(batched.StackedModule):
+    """K paper-mode shadow heads executed as one fused pass.
+
+    Lets the multi-attack engine (``InversionAttack.train_shadows``) fuse
+    ``shadow_mode='paper'`` heads exactly like the matched
+    :class:`~repro.models.resnet.ResNetHead` ones.
+    """
+
+    def __init__(self, heads: list[ShadowHead]):
+        super().__init__()
+        self.num_stacked = len(heads)
+        self.conv1 = batched.stack_modules([h.conv1 for h in heads])
+        self.bn1 = batched.stack_modules([h.bn1 for h in heads])
+        self.pool = batched.stack_modules([h.pool for h in heads])
+        self.conv2 = batched.stack_modules([h.conv2 for h in heads])
+        self.bn2 = batched.stack_modules([h.bn2 for h in heads])
+        self.conv3 = batched.stack_modules([h.conv3 for h in heads])
+        self.bn3 = batched.stack_modules([h.bn3 for h in heads])
 
     def forward(self, x):
         out = self.pool(self.bn1(self.conv1(x)).relu())

@@ -30,7 +30,16 @@ from repro.nn.modules import (
     Tanh,
     UpsampleNearest2d,
 )
-from repro.nn.optim import SGD, Adam, CosineAnnealingLR, LRScheduler, Optimizer, StepLR
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    LRScheduler,
+    Optimizer,
+    StackedAdam,
+    StackedSGD,
+    StepLR,
+)
 from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, ones, randn, stack, where, zeros
 
 __all__ = [
@@ -56,7 +65,9 @@ __all__ = [
     "SGD",
     "Sequential",
     "Sigmoid",
+    "StackedAdam",
     "StackedBodies",
+    "StackedSGD",
     "StepLR",
     "Tanh",
     "Tensor",

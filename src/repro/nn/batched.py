@@ -28,6 +28,35 @@ stacked engine stay interchangeable.  All batched ops support autograd, so
 joint fine-tuning can run through the stacked graph as well; modules that
 cannot be stacked raise :class:`UnstackableError`, which callers use to fall
 back to the looped path.
+
+Registry extension points
+-------------------------
+The registry covers every topology the reproduction executes hot: the
+classifier stack (``Conv2d``/``Linear``/``BatchNorm2d``/pooling/``ReLU``),
+the *decoder* stack used by the inversion attacks
+(``ConvTranspose2d``/``UpsampleNearest2d``/``Sigmoid``), and the composite
+model pieces which register themselves next to their definitions
+(``BasicBlock``/``ResNetHead``/… in :mod:`repro.models.resnet`,
+``ShadowHead`` in :mod:`repro.models.shadow`, ``FixedGaussianNoise`` in
+:mod:`repro.core.noise`).  To make a new layer stackable:
+
+1. decorate a ``StackedModule`` subclass with
+   ``@register_stacker(MyLayer)``; its ``__init__`` receives the member
+   list and must set ``num_stacked``;
+2. stack parameters with :func:`_stacked_parameter` (leading ensemble
+   axis) and validate shared hyper-parameters with :func:`common_attr`;
+3. express ``forward`` in the ``batched_*`` functional ops (or
+   :func:`_fold_spatial` for per-sample NCHW ops) so a shared 4-D input
+   and a per-member 5-D input both work;
+4. leave ``sync_from`` / ``unstack_to`` alone if the stacked module only
+   holds stacked children — the structural defaults recurse; override them
+   only on parameter-holding leaves.
+
+Training through a stacked tree is supported end to end: per-member losses
+(:func:`batched_cross_entropy`, :func:`batched_mse`) reduce to an ``(E,)``
+vector whose sum backpropagates each member's own gradient into the stacked
+parameters, and the stacked optimisers in :mod:`repro.nn.optim` keep
+per-member state along the same leading axis.
 """
 
 from __future__ import annotations
@@ -43,6 +72,7 @@ from repro.nn.modules import (
     AvgPool2d,
     BatchNorm2d,
     Conv2d,
+    ConvTranspose2d,
     Flatten,
     GlobalAvgPool2d,
     Identity,
@@ -52,6 +82,9 @@ from repro.nn.modules import (
     Parameter,
     ReLU,
     Sequential,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest2d,
 )
 from repro.nn.tensor import Tensor
 from repro.nn.tensor import stack as tensor_stack
@@ -180,7 +213,12 @@ def batched_conv2d(
         else:
             g2 = g.reshape(e, n, out_c, length)
             if weight.requires_grad:
-                dw = np.einsum("enol,enkl->eok", g2, cols, optimize=True)
+                # (E·N, O, L) x (E·N, L, K) batched GEMM, then reduce the
+                # batch axis: ~2x faster than the equivalent einsum, which
+                # falls off the fast BLAS path for this contraction.
+                dw = np.matmul(g2.reshape(e * n, out_c, length),
+                               cols.reshape(e * n, k, length).transpose(0, 2, 1))
+                dw = dw.reshape(e, n, out_c, k).sum(axis=1)
                 weight._accumulate(dw.reshape(weight.shape))
             if x.requires_grad:
                 dcols = np.matmul(w2.transpose(0, 2, 1)[:, None, :, :], g2)
@@ -191,6 +229,117 @@ def batched_conv2d(
                 x._accumulate(dx.reshape(e, n, c, h, w))
 
     return Tensor._make(out, parents, backward)
+
+
+def batched_conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    output_padding: int = 0,
+) -> Tensor:
+    """Transposed 2-D convolution for E members in one fused pass.
+
+    ``weight`` is ``(E, in_c, out_c, kh, kw)`` (the stacked PyTorch layout).
+    Mirrors :func:`repro.nn.functional.conv_transpose2d` per member: one
+    batched matmul over the input positions followed by a strided col2im
+    scatter.  A shared 4-D input is lowered once and all E kernels apply as
+    a single ``(E·out_c·kh·kw, in_c)`` matmul; a per-member 5-D input uses
+    one batched matmul.  Output is ``(E, N, out_c, oh, ow)``.
+    """
+    e, in_c, out_c, kh, kw = weight.shape
+    if padding > kh - 1 or padding > kw - 1:
+        raise ValueError("padding must be at most kernel_size - 1")
+    if output_padding >= stride:
+        raise ValueError("output_padding must be smaller than stride")
+    shared = x.ndim == 4
+    if shared:
+        n, c, h, w = x.shape
+    elif x.ndim == 5:
+        xe, n, c, h, w = x.shape
+        if xe != e:
+            raise ValueError(f"input carries {xe} members, weight has {e}")
+    else:
+        raise ValueError(f"expected 4-D (shared) or 5-D input, got {x.shape}")
+    if c != in_c:
+        raise ValueError(f"weight expects {in_c} input channels, got {c}")
+    out_h = (h - 1) * stride - 2 * padding + kh + output_padding
+    out_w = (w - 1) * stride - 2 * padding + kw + output_padding
+    k = out_c * kh * kw
+    length = h * w
+    w2 = weight.data.reshape(e, in_c, k)
+
+    if shared:
+        x_flat = x.data.reshape(n, c, length)
+        wt = w2.transpose(0, 2, 1).reshape(e * k, in_c)
+        cols = np.matmul(wt[None, :, :], x_flat)  # (N, E*K, L)
+        cols = np.ascontiguousarray(
+            cols.reshape(n, e, k, length).transpose(1, 0, 2, 3))
+    else:
+        x_flat = x.data.reshape(e, n, c, length)
+        cols = np.matmul(w2.transpose(0, 2, 1)[:, None, :, :], x_flat)  # (E,N,K,L)
+    out = _col2im(cols.reshape(e * n, k, length), (e * n, out_c, out_h, out_w),
+                  kh, kw, stride, padding, h, w).reshape(e, n, out_c, out_h, out_w)
+    profiling.record("conv2d", 2 * e * n * c * k * length)
+    if bias is not None:
+        out = out + bias.data.reshape(e, 1, out_c, 1, 1)
+        profiling.record("bias", e * n * out_c * out_h * out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(1, 3, 4)))
+        g_pad = _pad_spatial(g, padding)
+        gcols = _im2col(g_pad.reshape(e * n, out_c, *g_pad.shape[-2:]),
+                        kh, kw, stride).reshape(e, n, k, length)
+        if weight.requires_grad:
+            if shared:
+                dw = np.einsum("ncl,enkl->eck", x_flat, gcols, optimize=True)
+            else:
+                dw = np.matmul(x_flat.reshape(e * n, c, length),
+                               gcols.reshape(e * n, k, length).transpose(0, 2, 1))
+                dw = dw.reshape(e, n, c, k).sum(axis=1)
+            weight._accumulate(dw.reshape(weight.shape))
+        if x.requires_grad:
+            dx = np.matmul(w2[:, None, :, :], gcols)  # (E, N, C, L)
+            if shared:
+                x._accumulate(dx.sum(axis=0).reshape(n, c, h, w))
+            else:
+                x._accumulate(dx.reshape(e, n, c, h, w))
+
+    return Tensor._make(out, parents, backward)
+
+
+def batched_upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling over ``(E, N, C, H, W)`` (or NCHW) input."""
+    return _fold_spatial(x, lambda t: F.upsample_nearest2d(t, scale))
+
+
+def batched_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-member cross-entropy: ``(E, N, C)`` logits, ``(E, N)`` labels -> ``(E,)``.
+
+    Member ``e``'s entry equals ``F.cross_entropy(logits[e], targets[e])``, so
+    the sum of the vector backpropagates each member's own gradient — the
+    reduction every fused multi-net training uses.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 3 or targets.shape != logits.shape[:2]:
+        raise ValueError(f"expected (E, N, C) logits with (E, N) targets, got "
+                         f"{logits.shape} and {targets.shape}")
+    e, n, _ = logits.shape
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(e)[:, None], np.arange(n)[None, :], targets]
+    return -picked.mean(axis=1)
+
+
+def batched_mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Per-member mean squared error over stacked ``(E, ...)`` tensors -> ``(E,)``."""
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    diff = prediction - target
+    return (diff * diff).mean(axis=tuple(range(1, prediction.ndim)))
 
 
 def batched_batch_norm2d(
@@ -435,7 +584,14 @@ class StackedLinear(StackedModule):
 
 @register_stacker(BatchNorm2d)
 class StackedBatchNorm2d(StackedModule):
-    """E batch-norm layers with stacked ``(E, C)`` affine and running stats."""
+    """E batch-norm layers with stacked ``(E, C)`` affine and running stats.
+
+    ``record_batch_stats`` mirrors :class:`repro.nn.modules.BatchNorm2d`:
+    when enabled, each forward stores the input's differentiable per-member
+    batch mean/variance — ``(E, C)`` each for a per-member 5-D input — in
+    ``recorded_stats`` without changing the output.  The fused
+    DeepInversion-style BN prior of the multi-attack engine reads them.
+    """
 
     def __init__(self, bns: list[BatchNorm2d]):
         super().__init__()
@@ -447,8 +603,13 @@ class StackedBatchNorm2d(StackedModule):
         self.beta = _stacked_parameter([bn.beta for bn in bns])
         self.register_buffer("running_mean", np.stack([bn.running_mean for bn in bns]))
         self.register_buffer("running_var", np.stack([bn.running_var for bn in bns]))
+        self.record_batch_stats = False
+        self.recorded_stats: tuple[Tensor, Tensor] | None = None
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.record_batch_stats:
+            axes = (0, 2, 3) if x.ndim == 4 else (1, 3, 4)
+            self.recorded_stats = (x.mean(axis=axes), x.var(axis=axes))
         return batched_batch_norm2d(x, self.gamma, self.beta, self.running_mean,
                                     self.running_var, training=self.training,
                                     momentum=self.momentum, eps=self.eps)
@@ -478,6 +639,50 @@ class StackedBatchNorm2d(StackedModule):
 # ----------------------------------------------------------------------
 
 
+@register_stacker(ConvTranspose2d)
+class StackedConvTranspose2d(StackedModule):
+    """E transposed convolutions fused into one :func:`batched_conv_transpose2d`.
+
+    The stacker the inversion decoders compile through — with it (plus
+    :class:`StackedUpsampleNearest2d` / :class:`StackedSigmoid`) a
+    ``build_decoder`` tree stacks end to end.
+    """
+
+    def __init__(self, convs: list[ConvTranspose2d]):
+        super().__init__()
+        self.num_stacked = len(convs)
+        self.stride = common_attr(convs, "stride")
+        self.padding = common_attr(convs, "padding")
+        self.output_padding = common_attr(convs, "output_padding")
+        if len({conv.bias is None for conv in convs}) != 1:
+            raise UnstackableError("members disagree on conv bias")
+        self.weight = _stacked_parameter([conv.weight for conv in convs])
+        self.bias = (_stacked_parameter([conv.bias for conv in convs])
+                     if convs[0].bias is not None else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_conv_transpose2d(x, self.weight, self.bias,
+                                        stride=self.stride, padding=self.padding,
+                                        output_padding=self.output_padding)
+
+    def sync_from(self, convs: list[ConvTranspose2d]) -> "StackedConvTranspose2d":
+        convs = self._check_arity(convs)
+        self.weight.data = np.stack([conv.weight.data for conv in convs])
+        self.weight.requires_grad = any(conv.weight.requires_grad for conv in convs)
+        if self.bias is not None:
+            self.bias.data = np.stack([conv.bias.data for conv in convs])
+            self.bias.requires_grad = any(conv.bias.requires_grad for conv in convs)
+        return self
+
+    def unstack_to(self, convs: list[ConvTranspose2d]) -> "StackedConvTranspose2d":
+        convs = self._check_arity(convs)
+        for i, conv in enumerate(convs):
+            conv.weight.data = self.weight.data[i].copy()
+            if self.bias is not None:
+                conv.bias.data = self.bias.data[i].copy()
+        return self
+
+
 @register_stacker(ReLU)
 class StackedReLU(StackedModule):
     def __init__(self, mods: list[ReLU]):
@@ -486,6 +691,37 @@ class StackedReLU(StackedModule):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.relu(x)
+
+
+@register_stacker(Sigmoid)
+class StackedSigmoid(StackedModule):
+    def __init__(self, mods: list[Sigmoid]):
+        super().__init__()
+        self.num_stacked = len(mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+@register_stacker(Tanh)
+class StackedTanh(StackedModule):
+    def __init__(self, mods: list[Tanh]):
+        super().__init__()
+        self.num_stacked = len(mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+@register_stacker(UpsampleNearest2d)
+class StackedUpsampleNearest2d(StackedModule):
+    def __init__(self, mods: list[UpsampleNearest2d]):
+        super().__init__()
+        self.num_stacked = len(mods)
+        self.scale = common_attr(mods, "scale")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batched_upsample_nearest2d(x, self.scale)
 
 
 @register_stacker(Identity)

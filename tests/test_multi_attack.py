@@ -1,0 +1,165 @@
+"""Tests for the fused multi-attack engine (train_shadows / train_decoders /
+attack_subsets) and its backend equivalence.
+
+The contract: ``backend="fused"`` consumes the same RNG streams as
+``backend="looped"`` and produces the same per-subset artifacts and
+reconstruction metrics up to float reassociation in the batched kernels
+(the acceptance bar is 1e-4 on SSIM/PSNR).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import AttackConfig, InversionAttack, brute_force_attack
+from repro.attacks.evaluation import run_single_net_attacks
+from repro.core import EnsemblerConfig, TrainingConfig
+from repro.data import cifar10_like
+from repro.defenses import fit_ensembler
+from repro.models import ResNetConfig
+from repro.utils.rng import new_rng
+
+TINY_MODEL = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                          blocks_per_stage=(1, 1), use_maxpool=True)
+TINY_TRAIN = TrainingConfig(epochs=2, batch_size=16, lr=0.05)
+TINY_ATTACK = AttackConfig(
+    shadow=TrainingConfig(epochs=2, batch_size=16, lr=2e-3, optimizer="adam"),
+    decoder=TrainingConfig(epochs=2, batch_size=16, lr=3e-3, optimizer="adam"),
+    decoder_width=16)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return cifar10_like(size=16, train_per_class=8, test_per_class=4, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def defense(bundle):
+    config = EnsemblerConfig(num_nets=3, num_active=2, sigma=0.1, lambda_reg=1.0,
+                             stage1=TINY_TRAIN, stage3=TINY_TRAIN)
+    return fit_ensembler(bundle, TINY_MODEL, config=config, rng=new_rng(8))
+
+
+def make_attack(bundle, seed=9):
+    return InversionAttack(TINY_MODEL, bundle.image_shape, bundle.train, TINY_ATTACK,
+                           rng=new_rng(seed))
+
+
+class TestAttackSubsets:
+    def test_names_and_details_default(self, bundle, defense):
+        attack = make_attack(bundle)
+        artifacts = attack.attack_subsets(defense.bodies, [(0,), (2,)])
+        assert [a.name for a in artifacts] == ["subset(0,)", "subset(2,)"]
+        assert artifacts[1].details == {"subset": (2,)}
+
+    def test_validates_backend_and_chunk(self, bundle, defense):
+        attack = make_attack(bundle)
+        with pytest.raises(ValueError):
+            attack.attack_subsets(defense.bodies, [(0,)], backend="vectorized")
+        with pytest.raises(ValueError):
+            attack.attack_subsets(defense.bodies, [(0,)], chunk_size=0)
+
+    def test_train_shadows_rejects_mixed_sizes(self, bundle, defense):
+        attack = make_attack(bundle)
+        with pytest.raises(ValueError):
+            attack.train_shadows(defense.bodies, [(0,), (0, 1)])
+        with pytest.raises(ValueError):
+            attack.train_shadows(defense.bodies, [])
+        with pytest.raises(ValueError):
+            attack.train_shadows(defense.bodies, [(7,)])
+
+    def test_mixed_size_enumeration_chunks(self, bundle, defense):
+        """attack_subsets splits a mixed-size enumeration into size runs."""
+        attack = make_attack(bundle)
+        subsets = [(0,), (1,), (0, 1), (1, 2)]
+        artifacts = attack.attack_subsets(defense.bodies, subsets, chunk_size=2)
+        assert [a.details["subset"] for a in artifacts] == subsets
+
+    def test_backend_parity_on_artifacts(self, bundle, defense):
+        """Fused and looped backends agree member-wise on the decoders'
+        reconstructions, not just on aggregate metrics."""
+        probe = defense.intermediate(bundle.test.images[:4])
+        recons = {}
+        for backend in ("looped", "fused"):
+            attack = make_attack(bundle)
+            artifacts = attack.attack_subsets(defense.bodies, [(0, 1), (1, 2)],
+                                              backend=backend)
+            recons[backend] = [a.reconstruct(probe) for a in artifacts]
+        for looped_recon, fused_recon in zip(recons["looped"], recons["fused"]):
+            np.testing.assert_allclose(fused_recon, looped_recon, atol=1e-4)
+
+    def test_unstackable_bodies_fall_back_to_loop(self, bundle, defense):
+        """Heterogeneous bodies cannot stack; the fused backend must still
+        produce the looped result (identical RNG consumption)."""
+        hetero = list(defense.bodies[:2]) + [nn.Identity()]
+        results = {}
+        for backend in ("looped", "fused"):
+            attack = make_attack(bundle)
+            artifacts = attack.attack_subsets(hetero, [(0,), (1,)], backend=backend)
+            results[backend] = artifacts
+        probe = defense.intermediate(bundle.test.images[:2])
+        for ref, got in zip(results["looped"], results["fused"]):
+            np.testing.assert_allclose(got.reconstruct(probe),
+                                       ref.reconstruct(probe), atol=0)
+
+    def test_chunk_size_does_not_change_results(self, bundle, defense):
+        probe = defense.intermediate(bundle.test.images[:2])
+        recons = {}
+        for chunk_size in (1, 3):
+            attack = make_attack(bundle)
+            artifacts = attack.attack_subsets(defense.bodies, [(0, 1), (0, 2), (1, 2)],
+                                              chunk_size=chunk_size)
+            recons[chunk_size] = [a.reconstruct(probe) for a in artifacts]
+        for small, large in zip(recons[1], recons[3]):
+            np.testing.assert_allclose(large, small, atol=1e-4)
+
+
+class TestSingleNetSweep:
+    def test_fused_matches_looped_run(self, bundle, defense):
+        results = {}
+        for backend in ("looped", "fused"):
+            attack = make_attack(bundle, seed=11)
+            results[backend] = run_single_net_attacks(
+                defense, attack, bundle.test.images[:4],
+                traffic_images=bundle.train.images[:16], backend=backend)
+        assert [r.attack_name for r in results["fused"]] == [
+            "single[0]", "single[1]", "single[2]"]
+        for ref, got in zip(results["looped"], results["fused"]):
+            assert got.attack_name == ref.attack_name
+            assert abs(got.ssim - ref.ssim) <= 1e-4
+            assert abs(got.psnr - ref.psnr) <= 1e-4
+
+
+class TestBruteForceBackends:
+    def test_end_to_end_equivalence(self, bundle, defense):
+        """Acceptance bar: per-subset metrics match across backends ≤ 1e-4."""
+        probe = bundle.test.images[:2]
+        outcomes = {}
+        for backend in ("looped", "fused"):
+            attack = make_attack(bundle)
+            outcomes[backend] = brute_force_attack(defense, attack, probe,
+                                                   known_p=2, backend=backend)
+        assert outcomes["fused"].search_space == outcomes["looped"].search_space
+        assert outcomes["fused"].subsets_tried == 3
+        for (ref_subset, ref_metrics), (subset, metrics) in zip(
+                outcomes["looped"].per_subset, outcomes["fused"].per_subset):
+            assert subset == ref_subset
+            assert abs(metrics.ssim - ref_metrics.ssim) <= 1e-4
+            assert abs(metrics.psnr - ref_metrics.psnr) <= 1e-4
+        assert outcomes["fused"].best("ssim")[0] == outcomes["looped"].best("ssim")[0]
+
+    def test_full_enumeration_mixes_sizes(self, bundle, defense):
+        """known_p=None enumerates sizes 1..N; chunking must respect order."""
+        attack = make_attack(bundle)
+        outcome = brute_force_attack(defense, attack, bundle.test.images[:2],
+                                     chunk_size=2)
+        assert outcome.subsets_tried == 7  # 2^3 - 1
+        assert [s for s, _ in outcome.per_subset] == [
+            (0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]
+
+    def test_truncation_respected(self, bundle, defense):
+        attack = make_attack(bundle)
+        outcome = brute_force_attack(defense, attack, bundle.test.images[:2],
+                                     max_subsets=2)
+        assert outcome.subsets_tried == 2
+        assert outcome.search_space == 7

@@ -23,7 +23,9 @@ from repro.nn.batched import (
     UnstackableError,
     batched_batch_norm2d,
     batched_conv2d,
+    batched_cross_entropy,
     batched_linear,
+    batched_mse,
     stack_modules,
     unbind,
 )
@@ -406,3 +408,162 @@ class TestStackedRecalibration:
                                                    clone.named_buffers()):
                 np.testing.assert_allclose(clone_buf, buf, atol=1e-4,
                                            err_msg=f"buffer {name} diverged")
+
+
+class TestDecoderStackers:
+    """Fused-vs-looped parity for the decoder-topology stacker ops."""
+
+    def _grads(self, module):
+        return [p.grad.copy() for p in module.parameters()]
+
+    def test_stacked_conv_transpose_shared_input(self):
+        convs = [nn.ConvTranspose2d(4, 5, 4, stride=2, padding=1, rng=new_rng(i))
+                 for i in range(3)]
+        stacked = stack_modules(convs)
+        x = Tensor(rng.random((2, 4, 6, 6)).astype(np.float32))
+        out = stacked(x)
+        assert out.shape == (3, 2, 5, 12, 12)
+        for i, conv in enumerate(convs):
+            np.testing.assert_allclose(out.data[i], conv(x).data, atol=1e-5)
+
+    def test_stacked_conv_transpose_per_member_gradients(self):
+        convs = [nn.ConvTranspose2d(3, 4, 4, stride=2, padding=1, rng=new_rng(i))
+                 for i in range(3)]
+        stacked = stack_modules(convs)
+        xs = rng.random((3, 2, 3, 5, 5)).astype(np.float32)
+        x = Tensor(xs, requires_grad=True)
+        out = stacked(x)
+        (out * out).sum().backward()
+        stacked_grads = self._grads(stacked)
+        for i, conv in enumerate(convs):
+            xi = Tensor(xs[i], requires_grad=True)
+            (lambda o: (o * o).sum().backward())(conv(xi))
+            for got, ref in zip(stacked_grads, self._grads(conv)):
+                np.testing.assert_allclose(got[i], ref, atol=1e-4)
+            np.testing.assert_allclose(x.grad[i], xi.grad, atol=1e-4)
+
+    def test_stacked_conv_transpose_output_padding(self):
+        convs = [nn.ConvTranspose2d(2, 3, 3, stride=2, padding=1, output_padding=1,
+                                    rng=new_rng(i)) for i in range(2)]
+        stacked = stack_modules(convs)
+        x = Tensor(rng.random((2, 2, 4, 4)).astype(np.float32))
+        out = stacked(x)
+        assert out.shape == (2, 2, 3, 8, 8)
+        for i, conv in enumerate(convs):
+            np.testing.assert_allclose(out.data[i], conv(x).data, atol=1e-5)
+
+    def test_stacked_upsample_and_sigmoid(self):
+        ups = stack_modules([nn.UpsampleNearest2d(2) for _ in range(2)])
+        xs = rng.random((2, 3, 2, 4, 4)).astype(np.float32)
+        out = ups(Tensor(xs))
+        assert out.shape == (2, 3, 2, 8, 8)
+        np.testing.assert_allclose(out.data[1], np.repeat(np.repeat(
+            xs[1], 2, axis=2), 2, axis=3), atol=1e-6)
+        sig = stack_modules([nn.Sigmoid() for _ in range(2)])
+        out = sig(Tensor(xs))
+        np.testing.assert_allclose(out.data, 1.0 / (1.0 + np.exp(-xs)), atol=1e-6)
+
+    def test_full_decoder_tree_parity_both_variants(self):
+        from repro.models.decoder import build_decoder
+        for use_transposed in (True, False):
+            decoders = [build_decoder((4, 4, 4), (3, 8, 8), width=4,
+                                      use_transposed=use_transposed,
+                                      rng=new_rng(10 + i)) for i in range(3)]
+            stacked = stack_modules(decoders)
+            xs = rng.random((3, 2, 4, 4, 4)).astype(np.float32)
+            out = stacked(Tensor(xs))
+            (out * out).sum().backward()
+            stacked_grads = self._grads(stacked)
+            for i, decoder in enumerate(decoders):
+                o = decoder(Tensor(xs[i]))
+                np.testing.assert_allclose(out.data[i], o.data, atol=1e-5)
+                (o * o).sum().backward()
+                for got, ref in zip(stacked_grads, self._grads(decoder)):
+                    np.testing.assert_allclose(got[i], ref, atol=1e-4)
+
+    def test_stacked_conv_transpose_unstack_roundtrip(self):
+        convs = [nn.ConvTranspose2d(2, 2, 4, stride=2, padding=1, rng=new_rng(i))
+                 for i in range(2)]
+        stacked = stack_modules(convs)
+        stacked.weight.data += 1.0
+        stacked.bias.data += 0.5
+        stacked.unstack_to(convs)
+        for i, conv in enumerate(convs):
+            np.testing.assert_allclose(conv.weight.data, stacked.weight.data[i])
+            np.testing.assert_allclose(conv.bias.data, stacked.bias.data[i])
+        stacked2 = stack_modules(convs)
+        np.testing.assert_allclose(stacked2.weight.data, stacked.weight.data)
+
+    def test_stacked_conv_transpose_rejects_mixed_stride(self):
+        convs = [nn.ConvTranspose2d(2, 2, 4, stride=2, rng=new_rng(0)),
+                 nn.ConvTranspose2d(2, 2, 4, stride=1, rng=new_rng(1))]
+        with pytest.raises(UnstackableError):
+            stack_modules(convs)
+
+    def test_stacked_shadow_head_parity(self):
+        from repro.models.shadow import ShadowHead
+        config = body_config(8)
+        heads = [ShadowHead(config, rng=new_rng(i)) for i in range(3)]
+        for head in heads:
+            head.eval()
+        stacked = stack_modules(heads)
+        stacked.eval()
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        out = stacked(x)
+        for i, head in enumerate(heads):
+            np.testing.assert_allclose(out.data[i], head(x).data, atol=1e-5)
+
+
+class TestPerMemberLosses:
+    def test_batched_cross_entropy_matches_loop(self):
+        logits = Tensor(rng.random((3, 5, 4)).astype(np.float32))
+        targets = rng.integers(0, 4, size=(3, 5))
+        losses = batched_cross_entropy(logits, targets)
+        assert losses.shape == (3,)
+        for i in range(3):
+            ref = F.cross_entropy(Tensor(logits.data[i]), targets[i])
+            np.testing.assert_allclose(losses.data[i], ref.data, atol=1e-6)
+
+    def test_batched_cross_entropy_gradient_is_per_member(self):
+        data = rng.random((2, 4, 3)).astype(np.float32)
+        targets = rng.integers(0, 3, size=(2, 4))
+        logits = Tensor(data, requires_grad=True)
+        batched_cross_entropy(logits, targets).sum().backward()
+        for i in range(2):
+            member = Tensor(data[i], requires_grad=True)
+            F.cross_entropy(member, targets[i]).backward()
+            np.testing.assert_allclose(logits.grad[i], member.grad, atol=1e-6)
+
+    def test_batched_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            batched_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 3)))
+
+    def test_batched_mse_matches_loop(self):
+        a = Tensor(rng.random((3, 2, 4, 5, 5)).astype(np.float32))
+        b = Tensor(rng.random((3, 2, 4, 5, 5)).astype(np.float32))
+        losses = batched_mse(a, b)
+        assert losses.shape == (3,)
+        for i in range(3):
+            ref = F.mse_loss(Tensor(a.data[i]), Tensor(b.data[i]))
+            np.testing.assert_allclose(losses.data[i], ref.data, atol=1e-6)
+
+    def test_batched_mse_validates_shapes(self):
+        with pytest.raises(ValueError):
+            batched_mse(Tensor(np.zeros((2, 3))), Tensor(np.zeros((3, 2))))
+
+
+class TestStackedBatchNormRecording:
+    def test_recorded_stats_are_per_member(self):
+        bns = [nn.BatchNorm2d(4) for _ in range(3)]
+        for bn in bns:
+            bn.eval()
+        stacked = stack_modules(bns)
+        stacked.eval()
+        stacked.record_batch_stats = True
+        xs = rng.random((3, 2, 4, 5, 5)).astype(np.float32)
+        stacked(Tensor(xs))
+        rec_mean, rec_var = stacked.recorded_stats
+        assert rec_mean.shape == (3, 4)
+        for i in range(3):
+            np.testing.assert_allclose(rec_mean.data[i], xs[i].mean(axis=(0, 2, 3)),
+                                       atol=1e-6)
