@@ -1,0 +1,156 @@
+"""E3 — sequential vs coalesced multi-tenant serving over the fused engine.
+
+Times the serving plane of :class:`~repro.serving.service.InferenceService`
+for S concurrent sessions, each uploading single-image requests against an
+N-body Ensembler server:
+
+* **sequential** — ``max_batch=1``: one stacked pass per request (the
+  pre-serving behaviour of `EnsembleCIPipeline.infer` per client);
+* **coalesced** — ``max_batch=S``: every tick merges the whole wave of
+  concurrent uploads into one stacked pass along the batch axis.
+
+Only the server plane is timed (requests carry pre-encoded features via
+``submit_features``); client-side head/tail work is identical in both modes
+and amortisation is a server-side property.  Run as pytest
+(``pytest benchmarks/bench_serving.py -s``) or directly
+(``python benchmarks/bench_serving.py``).  Either way a record is appended
+to the ``BENCH_serving.json`` history at the repo root; the pytest entry
+additionally asserts the acceptance bar (coalesced throughput ≥ 1.5x
+sequential for 8 sessions at N=8 bodies, outputs matching to ≤ 1e-5).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow `python benchmarks/bench_serving.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from _bench_utils import write_record as _write_record  # noqa: E402
+from bench_ensemble import build_bodies, time_fn  # noqa: E402
+from repro import nn  # noqa: E402
+from repro.ci import Server  # noqa: E402
+from repro.ci.pipeline import Client  # noqa: E402
+from repro.serving import InferenceService  # noqa: E402
+
+NUM_NETS = 8
+SESSION_COUNTS = (2, 4, 8)
+REQUEST_BATCH = 1  # single-image interactive requests, the serving regime
+WIDTH = 16
+SPATIAL = 8
+RECORD_PATH = REPO_ROOT / "BENCH_serving.json"
+
+
+def _make_service(bodies, max_batch: int, num_sessions: int):
+    """A service plus ``num_sessions`` protocol-only tenants.
+
+    Identity heads/tails keep the measurement on the serving plane; the
+    wire protocol (framing, per-session accounting, split/route) runs in
+    full either way.
+    """
+    service = InferenceService(Server(bodies), max_batch=max_batch,
+                               max_queue=4 * num_sessions)
+    sessions = [service.adopt_session(Client(nn.Identity(), nn.Identity()))
+                for _ in range(num_sessions)]
+    return service, sessions
+
+
+def _serve_wave(service, sessions, features) -> list:
+    """All sessions upload one request, then the service drains the queue."""
+    request_ids = [session.submit_features(features) for session in sessions]
+    service.run_until_idle()
+    return [session._responses.pop(rid).outputs
+            for session, rid in zip(sessions, request_ids)]
+
+
+def run_benchmark(session_counts=SESSION_COUNTS, num_nets=NUM_NETS,
+                  request_batch=REQUEST_BATCH, width=WIDTH, spatial=SPATIAL,
+                  repeats: int = 5) -> dict:
+    """Time sequential vs coalesced serving and return the JSON record."""
+    rng = np.random.default_rng(0)
+    features = rng.random((request_batch, width, spatial, spatial),
+                          dtype=np.float32)
+    bodies = build_bodies(num_nets, width)
+    results = []
+    for num_sessions in session_counts:
+        sequential, seq_sessions = _make_service(bodies, 1, num_sessions)
+        coalesced, coal_sessions = _make_service(bodies, num_sessions,
+                                                 num_sessions)
+
+        seq_out = _serve_wave(sequential, seq_sessions, features)
+        coal_out = _serve_wave(coalesced, coal_sessions, features)
+        max_abs_diff = max(
+            float(np.abs(c - s).max())
+            for c_outs, s_outs in zip(coal_out, seq_out)
+            for c, s in zip(c_outs, s_outs))
+
+        sequential_s = time_fn(
+            lambda: _serve_wave(sequential, seq_sessions, features),
+            repeats=repeats)
+        coalesced_s = time_fn(
+            lambda: _serve_wave(coalesced, coal_sessions, features),
+            repeats=repeats)
+        wave_requests = num_sessions
+        results.append({
+            "num_sessions": num_sessions,
+            "sequential_s": sequential_s,
+            "coalesced_s": coalesced_s,
+            "sequential_rps": wave_requests / sequential_s,
+            "coalesced_rps": wave_requests / coalesced_s,
+            "throughput_ratio": sequential_s / coalesced_s,
+            "max_abs_diff": max_abs_diff,
+        })
+    return {
+        "benchmark": "serving_coalesced_vs_sequential",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_nets": num_nets,
+        "request_batch": request_batch,
+        "width": width,
+        "spatial": spatial,
+        "body_topology": "resnet10-style (4 stages, 1 block each)",
+        "results": results,
+    }
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
+    """Append ``record`` to the per-PR history list at ``path``."""
+    return _write_record(record, path)
+
+
+def print_record(record: dict) -> None:
+    print(f"\nmulti-tenant serving benchmark (N={record['num_nets']} bodies, "
+          f"{record['request_batch']}-image requests, {record['body_topology']})")
+    print(f"{'S':>3}  {'sequential [ms]':>16}  {'coalesced [ms]':>15}  "
+          f"{'req/s seq':>10}  {'req/s coal':>11}  {'ratio':>6}  {'max|diff|':>10}")
+    for row in record["results"]:
+        print(f"{row['num_sessions']:>3}  {row['sequential_s'] * 1e3:>16.2f}  "
+              f"{row['coalesced_s'] * 1e3:>15.2f}  {row['sequential_rps']:>10.0f}  "
+              f"{row['coalesced_rps']:>11.0f}  {row['throughput_ratio']:>5.2f}x  "
+              f"{row['max_abs_diff']:>10.2e}")
+
+
+def test_coalesced_serving_throughput():
+    """Acceptance bar: coalesced ≥ 1.5x sequential at S=8, N=8, equivalent."""
+    record = run_benchmark()
+    write_record(record)
+    print_record(record)
+    for row in record["results"]:
+        assert row["max_abs_diff"] <= 1e-5, (
+            f"serving modes diverge at S={row['num_sessions']}: "
+            f"{row['max_abs_diff']}")
+    by_s = {row["num_sessions"]: row for row in record["results"]}
+    assert by_s[8]["throughput_ratio"] >= 1.5, (
+        f"coalesced serving must be ≥1.5x sequential for 8 sessions, got "
+        f"{by_s[8]['throughput_ratio']:.2f}x")
+
+
+if __name__ == "__main__":
+    rec = run_benchmark()
+    out = write_record(rec)
+    print_record(rec)
+    print(f"\nrecord written to {out}")

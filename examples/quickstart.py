@@ -8,7 +8,10 @@ on a laptop CPU):
    channel;
 3. train the Ensembler defense (stages 1-3) and run the ensemble protocol;
 4. mount the paper's model-inversion attack against both deployments and
-   compare reconstruction quality (SSIM / PSNR — lower is better defense).
+   compare reconstruction quality (SSIM / PSNR — lower is better defense);
+5. serve several tenants at once through the multi-tenant serving API,
+   coalescing their concurrent uploads into one stacked ensemble pass
+   (see examples/serving_demo.py for the full serving walkthrough).
 
 Run:  python examples/quickstart.py
 """
@@ -97,6 +100,27 @@ def main() -> None:
     print(f"  ensembler, adaptive  : SSIM {adaptive_metrics.ssim:.3f}  "
           f"PSNR {adaptive_metrics.psnr:.2f} dB  (the attack that cannot pick "
           "the right subset)")
+
+    # --- 5. multi-tenant serving ----------------------------------------
+    # The pipelines above are single-session adapters over the serving API;
+    # a deployment serves many tenants through one InferenceService, which
+    # coalesces their concurrent uploads into one stacked N-body pass.
+    from repro.serving import InferenceService
+
+    service = InferenceService(ens_server, max_batch=4)
+    tenants = [service.open_session(defended.head, defended.tail,
+                                    selector=defended.selector,
+                                    noise=defended.noise)
+               for _ in range(3)]
+    requests = [tenant.submit(bundle.test.images[i:i + 2])
+                for i, tenant in enumerate(tenants)]
+    service.run_until_idle()
+    logits = [tenant.result(rid) for tenant, rid in zip(tenants, requests)]
+    print(f"\nserving: {service.stats.served_requests} tenant requests in "
+          f"{service.stats.ticks} stacked pass(es) "
+          f"({service.stats.mean_coalesced:.0f} coalesced), "
+          f"{service.transfer_totals().total_bytes} B total traffic, "
+          f"logit batches {[l.shape[0] for l in logits]}")
 
 
 if __name__ == "__main__":

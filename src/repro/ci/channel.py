@@ -1,9 +1,18 @@
 """In-process transport between the CI client and server.
 
-The channel moves NumPy payloads and records exact byte/message counts in
-each direction.  Those counts drive the communication column of the Table III
-latency model, so they must reflect what a real deployment would serialise:
-the array payload (dtype bytes) plus a small framing header.
+The channel moves payloads and records exact byte/message counts in each
+direction.  Those counts drive the communication column of the Table III
+latency model, so they must reflect what a real deployment would
+serialise.  Two payload families are accounted:
+
+* **wire messages** — the typed serving protocol
+  (:class:`~repro.serving.protocol.UploadRequest` /
+  :class:`~repro.serving.protocol.FeatureResponse`): anything exposing
+  ``wire_nbytes()`` is charged the exact length of its ``to_bytes()``
+  framing;
+* **raw arrays** — a bare ndarray (or list of them) is charged its dtype
+  bytes plus a fixed :data:`HEADER_BYTES` framing per array, which by
+  construction equals the framed size the protocol would produce.
 """
 
 from __future__ import annotations
@@ -17,7 +26,12 @@ HEADER_BYTES = 64  # shape/dtype/tensor-id framing per message
 
 @dataclasses.dataclass
 class TransferStats:
-    """Accumulated traffic counters for one channel."""
+    """Accumulated traffic counters for one channel.
+
+    Stats are composable: ``a + b`` returns the combined counters and
+    ``a.merge(b)`` accumulates in place, so per-session stats roll up
+    into service-level totals (``sum(stats_list, TransferStats())``).
+    """
 
     uplink_messages: int = 0
     uplink_bytes: int = 0
@@ -38,9 +52,34 @@ class TransferStats:
         self.downlink_messages = 0
         self.downlink_bytes = 0
 
+    def merge(self, other: "TransferStats") -> "TransferStats":
+        """Accumulate ``other``'s counters into this instance (returns self)."""
+        self.uplink_messages += other.uplink_messages
+        self.uplink_bytes += other.uplink_bytes
+        self.downlink_messages += other.downlink_messages
+        self.downlink_bytes += other.downlink_bytes
+        return self
 
-def payload_nbytes(payload: np.ndarray | list[np.ndarray]) -> int:
-    """Wire size of a payload: array bytes plus framing per array."""
+    def __add__(self, other: "TransferStats") -> "TransferStats":
+        if not isinstance(other, TransferStats):
+            return NotImplemented
+        return dataclasses.replace(self).merge(other)
+
+    def __radd__(self, other) -> "TransferStats":
+        if other == 0:  # allow plain sum(list_of_stats)
+            return dataclasses.replace(self)
+        return NotImplemented
+
+
+def payload_nbytes(payload) -> int:
+    """Wire size of a payload.
+
+    Protocol messages report their exact framed length; raw arrays are
+    charged dtype bytes plus :data:`HEADER_BYTES` framing per array.
+    """
+    wire = getattr(payload, "wire_nbytes", None)
+    if callable(wire):
+        return wire()
     if isinstance(payload, np.ndarray):
         return payload.nbytes + HEADER_BYTES
     return sum(arr.nbytes + HEADER_BYTES for arr in payload)
@@ -49,21 +88,21 @@ def payload_nbytes(payload: np.ndarray | list[np.ndarray]) -> int:
 class Channel:
     """Bidirectional client<->server link with byte accounting.
 
-    ``send_up`` models client-to-server transmission (intermediate features);
-    ``send_down`` models server-to-client transmission (feature maps / logits).
-    Payloads pass through unchanged — the simulation is about *accounting*,
-    not copies.
+    ``send_up`` models client-to-server transmission (feature uploads);
+    ``send_down`` models server-to-client transmission (feature maps /
+    logits).  Payloads pass through unchanged — the simulation is about
+    *accounting*, not copies.
     """
 
     def __init__(self):
         self.stats = TransferStats()
 
-    def send_up(self, payload: np.ndarray | list[np.ndarray]):
+    def send_up(self, payload):
         self.stats.uplink_messages += 1
         self.stats.uplink_bytes += payload_nbytes(payload)
         return payload
 
-    def send_down(self, payload: np.ndarray | list[np.ndarray]):
+    def send_down(self, payload):
         self.stats.downlink_messages += 1
         self.stats.downlink_bytes += payload_nbytes(payload)
         return payload

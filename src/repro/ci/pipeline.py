@@ -6,6 +6,13 @@ uploads noised intermediate features once, the server runs *all* N bodies and
 returns all N feature vectors, and the client privately selects P of them
 before its tail.  Both run over a byte-counting :class:`~repro.ci.channel.Channel`.
 
+Since the serving redesign both pipelines are thin *single-session adapters*
+over the multi-tenant API in :mod:`repro.serving`: each ``infer`` call frames
+a typed :class:`~repro.serving.protocol.UploadRequest`, runs one scheduler
+tick and decodes the returned feature maps client-side.  Multi-client
+deployments that want cross-client batch coalescing use
+:class:`~repro.serving.service.InferenceService` directly.
+
 Server execution backends
 -------------------------
 The server's mandatory "run every body" step supports two backends:
@@ -81,6 +88,9 @@ class Server:
         self.observed_features: list[np.ndarray] = []
         self.backend = "looped"
         self._stacked: StackedBodies | None = None
+        # True when a train-mode looped pass has mutated the bodies (BN
+        # running statistics) since the mirror last synced.
+        self._stacked_stale = False
         if backend == "batched" and len(bodies) > 1:
             # None for heterogeneous bodies: serve them with the loop.
             self._stacked = StackedBodies.try_build(bodies)
@@ -92,6 +102,7 @@ class Server:
         if self._stacked is not None:
             self._stacked.sync_from(self.bodies)
             self._stacked.train(self.bodies[0].training)
+            self._stacked_stale = False
         return self
 
     def compute(self, features: np.ndarray, record: bool = False) -> list[np.ndarray]:
@@ -107,35 +118,72 @@ class Server:
             self.observed_features.append(np.array(features, copy=True))
         with no_grad():
             x = Tensor(features)
-            # The fused engine serves eval-mode bodies only; train-mode
-            # bodies take the loop so their BN running statistics update in
-            # place (the stacked mirror must never hold the only copy).
-            if self._stacked is not None and not self._stacked.training:
+            # The fused engine serves eval-mode bodies only; any train-mode
+            # body sends the whole request down the loop so BN running
+            # statistics update in place (the stacked mirror must never
+            # hold the only copy).  Mode is read off the *bodies* —
+            # ``body.train()`` called directly (without sync()) must not
+            # leave stale eval-mode semantics being served from the mirror.
+            any_training = any(body.training for body in self.bodies)
+            if self._stacked is not None and not any_training:
+                if self._stacked_stale:
+                    # A train-mode pass moved the bodies' BN statistics
+                    # since the last sync; refresh before serving fused.
+                    self.sync()
+                if self._stacked.training:
+                    self._stacked.eval()
                 stacked_out = self._stacked(x).data
                 return [np.ascontiguousarray(stacked_out[i])
                         for i in range(len(self.bodies))]
+            if any_training:
+                # The looped train-mode forward mutates the bodies in
+                # place, so the mirror (if any) no longer matches them.
+                self._stacked_stale = True
             return [body(x).data for body in self.bodies]
 
 
-class StandardCIPipeline:
+class _SingleSessionPipeline:
+    """Shared adapter core: one client, one session, a drained-per-call service.
+
+    Both pipelines are now thin single-tenant views over the multi-tenant
+    serving API (:mod:`repro.serving`): ``infer`` submits one typed
+    :class:`~repro.serving.protocol.UploadRequest`, drains the service and
+    decodes the :class:`~repro.serving.protocol.FeatureResponse`.  The wire
+    accounting is therefore the *actual framed payload* of the protocol
+    messages, which coincides with the historical per-array framing.
+    """
+
+    def __init__(self, client: Client, server: Server, channel: Channel | None = None):
+        # Deferred import: repro.serving builds on the roles defined above.
+        from repro.serving.service import InferenceService
+
+        self.client = client
+        self.server = server
+        self.channel = channel if channel is not None else Channel()
+        self._service = InferenceService(server, max_batch=1, max_queue=1)
+        self._session = self._service.adopt_session(client, channel=self.channel)
+
+    @property
+    def session(self):
+        """The underlying serving session (single-tenant view)."""
+        return self._session
+
+    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
+        request_id = self._session.submit(images, record=record)
+        self._service.run_until_idle()
+        return self._session.result(request_id)
+
+
+class StandardCIPipeline(_SingleSessionPipeline):
     """Classical collaborative inference with a single server body."""
 
     def __init__(self, client: Client, server: Server, channel: Channel | None = None):
         if len(server.bodies) != 1:
             raise ValueError("standard CI uses exactly one server body")
-        self.client = client
-        self.server = server
-        self.channel = channel if channel is not None else Channel()
-
-    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
-        features = self.client.encode(images)
-        uploaded = self.channel.send_up(features)
-        outputs = self.server.compute(uploaded, record=record)
-        returned = self.channel.send_down(outputs[0])
-        return self.client.decide(returned)
+        super().__init__(client, server, channel)
 
 
-class EnsembleCIPipeline:
+class EnsembleCIPipeline(_SingleSessionPipeline):
     """Ensembler inference: one upload, N bodies, N downloads, private select.
 
     The server side runs on whichever backend its :class:`Server` resolved
@@ -146,17 +194,8 @@ class EnsembleCIPipeline:
     def __init__(self, client: Client, server: Server, channel: Channel | None = None):
         if client._selector is None:
             raise ValueError("ensemble CI requires a client-side selector")
-        self.client = client
-        self.server = server
-        self.channel = channel if channel is not None else Channel()
+        super().__init__(client, server, channel)
 
     @property
     def num_nets(self) -> int:
         return len(self.server.bodies)
-
-    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
-        features = self.client.encode(images)
-        uploaded = self.channel.send_up(features)
-        outputs = self.server.compute(uploaded, record=record)
-        returned = self.channel.send_down(outputs)  # all N go back; selection is private
-        return self.client.decide(returned)

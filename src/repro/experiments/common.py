@@ -24,6 +24,7 @@ from repro.core.training import EnsemblerConfig, TrainingConfig
 from repro.data.datasets import DatasetBundle
 from repro.data.synthetic import celeba_hq_like, cifar10_like, cifar100_like
 from repro.models.resnet import ResNetConfig
+from repro.serving.service import ServingConfig
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +55,9 @@ class ExperimentPreset:
     # one stacked NumPy pass (the default serving path); "looped" keeps the
     # reference per-body Python loop.
     backend: str = "batched"
+    # Multi-tenant scheduler shape: how many concurrent client uploads one
+    # InferenceService tick coalesces, and the backpressure bound.
+    serving: ServingConfig = ServingConfig()
 
     def dataset(self, key: str) -> DatasetSpec:
         for spec in self.datasets:
@@ -66,6 +70,20 @@ class ExperimentPreset:
         """The matching multi-attack backend: fused sweeps iff the ensemble
         execution is batched, so one switch flips the whole experiment."""
         return "fused" if self.backend == "batched" else "looped"
+
+    def inference_service(self, server_or_bodies):
+        """Build the preset-shaped multi-tenant serving front-end.
+
+        Accepts a configured :class:`~repro.ci.pipeline.Server` or a plain
+        body list (wrapped with this preset's execution backend), and
+        applies the preset's :class:`ServingConfig` scheduler shape.
+        """
+        from repro.ci.pipeline import Server
+        from repro.serving.service import InferenceService
+
+        if not isinstance(server_or_bodies, Server):
+            server_or_bodies = Server(list(server_or_bodies), backend=self.backend)
+        return InferenceService.from_config(server_or_bodies, self.serving)
 
     def ensembler_config(self, spec: DatasetSpec) -> EnsemblerConfig:
         return EnsemblerConfig(
@@ -121,6 +139,7 @@ def _tiny_preset() -> ExperimentPreset:
         ),
         probe_size=8,
         traffic_size=32,
+        serving=ServingConfig(max_batch=4, max_queue=16),
     )
 
 
@@ -164,6 +183,7 @@ def _small_preset() -> ExperimentPreset:
         ),
         probe_size=16,
         traffic_size=256,
+        serving=ServingConfig(max_batch=8, max_queue=64),
     )
 
 
@@ -200,6 +220,7 @@ def _paper_preset() -> ExperimentPreset:
         ),
         probe_size=64,
         traffic_size=1024,
+        serving=ServingConfig(max_batch=16, max_queue=256),
     )
 
 

@@ -101,6 +101,38 @@ class LatencyModel:
                                                 messages=num_nets))
         return LatencyBreakdown("ensembler", client, server, comm)
 
+    def ensembler_coalesced(self, workload: SplitWorkload, num_nets: int,
+                            coalesced: int = 1, fused: bool = True) -> LatencyBreakdown:
+        """Amortised *per-request* cost when the serving layer coalesces.
+
+        The :class:`~repro.serving.service.InferenceService` merges
+        ``coalesced`` concurrent uploads into one stacked pass, so the
+        per-pass serial overhead (the Amdahl term of :meth:`ensembler`) is
+        paid once per *pass* instead of once per *request*:
+
+            ``server = base * (1 + serial_fraction * (N - 1) / R)``
+
+        Client time and communication are unchanged — every session still
+        frames its own upload and receives its own N responses, which is
+        exactly the per-session byte accounting the service preserves.
+        ``coalesced=1`` degenerates to :meth:`ensembler`; a looped
+        (``fused=False``) server gains nothing from coalescing.
+        """
+        if num_nets < 1:
+            raise ValueError("num_nets must be >= 1")
+        if coalesced < 1:
+            raise ValueError("coalesced must be >= 1")
+        client = self.client.seconds(workload.client_head_flops + workload.client_tail_flops)
+        base = self.server.seconds(workload.server_body_flops)
+        if fused:
+            server = base * (1.0 + self.serial_fraction * (num_nets - 1) / coalesced)
+        else:
+            server = base * num_nets
+        comm = (self.network.uplink_seconds(workload.upload_bytes)
+                + self.network.downlink_seconds(workload.download_bytes_per_net * num_nets,
+                                                messages=num_nets))
+        return LatencyBreakdown(f"ensembler-coalesced-{coalesced}", client, server, comm)
+
 
 def workload_from_model(model_config, image_hw: int, batch_size: int,
                         rng=None) -> SplitWorkload:

@@ -1,0 +1,46 @@
+"""Multi-tenant serving layer over the fused ensemble engine.
+
+Ensembler's protocol (Fig. 2) makes the server run *all* N bodies per
+upload so the client's P-subset selection stays secret; the fused
+:class:`~repro.nn.batched.StackedBodies` engine made that affordable per
+request, and this package makes it affordable per *fleet*: concurrent
+client uploads are coalesced along the batch axis into one stacked
+forward, so K waiting requests cost one fused pass instead of K.
+
+* :mod:`repro.serving.protocol` — the typed wire protocol
+  (:class:`UploadRequest` / :class:`FeatureResponse`) with real byte
+  serialization, so the channel accounts actual framed payloads;
+* :mod:`repro.serving.session` — per-client :class:`Session` objects:
+  own channel statistics, private selector, optional per-session noise;
+* :mod:`repro.serving.service` — the :class:`InferenceService`: a
+  deterministic tick-based scheduler with bounded-queue backpressure
+  and cross-client batch coalescing.
+
+The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
+"""
+
+from repro.serving.protocol import (
+    FeatureResponse,
+    ProtocolError,
+    UploadRequest,
+    WIRE_VERSION,
+)
+from repro.serving.service import (
+    BackpressureError,
+    InferenceService,
+    ServiceStats,
+    ServingConfig,
+)
+from repro.serving.session import Session
+
+__all__ = [
+    "BackpressureError",
+    "FeatureResponse",
+    "InferenceService",
+    "ProtocolError",
+    "ServiceStats",
+    "ServingConfig",
+    "Session",
+    "UploadRequest",
+    "WIRE_VERSION",
+]

@@ -1,0 +1,212 @@
+"""Typed wire protocol for the multi-tenant serving API.
+
+The serving layer speaks two message types: :class:`UploadRequest` (client
+-> server: one noised intermediate-feature tensor) and
+:class:`FeatureResponse` (server -> client: the N per-body feature maps).
+Both serialize to real bytes — ``to_bytes`` / ``from_bytes`` round-trip
+exactly — so the byte-counting :class:`~repro.ci.channel.Channel` accounts
+the *actual* framed payload rather than the historical
+``ndarray.nbytes + 64`` approximation.
+
+Frame layout
+------------
+A message is a sequence of frames, one per carried array.  Every frame is
+a fixed 64-byte little-endian header followed by the raw array bytes::
+
+    offset  size  field
+         0     4  magic  b"ENSB"
+         4     2  protocol version (WIRE_VERSION)
+         6     2  message kind (1 = upload, 2 = response)
+         8     8  session id (uint64)
+        16     8  request id (uint64)
+        24     2  flags (bit 0: record / attack-capture consent)
+        26     2  array index within the message
+        28     2  array count of the message
+        30     2  dtype code (see _DTYPE_CODES)
+        32     2  ndim (1..6)
+        34     2  reserved (zero)
+        36    24  shape, 6 x uint32 (unused dims zero)
+        60     4  padding (zero)
+
+The header size deliberately equals the channel's historical
+``HEADER_BYTES`` framing constant, so ``wire_nbytes()`` — the exact length
+of ``to_bytes()`` — coincides with the accounting every Table-III latency
+calibration already used: ``sum(arr.nbytes + 64)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+import numpy as np
+
+from repro.ci.channel import HEADER_BYTES
+
+WIRE_VERSION = 1
+_MAGIC = b"ENSB"
+_KIND_UPLOAD = 1
+_KIND_RESPONSE = 2
+_FLAG_RECORD = 1
+_MAX_NDIM = 6
+
+# magic, version, kind, session, request, flags, index, count, dtype, ndim,
+# reserved, shape[6], pad.
+_FRAME = struct.Struct("<4s2H2Q6H6I4x")
+assert _FRAME.size == HEADER_BYTES, "frame header must match channel framing"
+
+_DTYPE_CODES: dict[np.dtype, int] = {
+    np.dtype(np.float32): 0,
+    np.dtype(np.float64): 1,
+    np.dtype(np.float16): 2,
+    np.dtype(np.int64): 3,
+    np.dtype(np.int32): 4,
+    np.dtype(np.int16): 5,
+    np.dtype(np.int8): 6,
+    np.dtype(np.uint8): 7,
+    np.dtype(np.bool_): 8,
+}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+class ProtocolError(ValueError):
+    """Raised when bytes on the wire do not parse as a valid message."""
+
+
+def _frame_nbytes(arrays: list[np.ndarray]) -> int:
+    return sum(arr.nbytes + HEADER_BYTES for arr in arrays)
+
+
+def _pack(kind: int, session_id: int, request_id: int, flags: int,
+          arrays: list[np.ndarray]) -> bytes:
+    if not arrays:
+        raise ProtocolError("a message must carry at least one array")
+    chunks = []
+    for index, arr in enumerate(arrays):
+        if arr.dtype not in _DTYPE_CODES:
+            raise ProtocolError(f"unsupported wire dtype {arr.dtype}")
+        if not 1 <= arr.ndim <= _MAX_NDIM:
+            raise ProtocolError(f"wire arrays must be 1..{_MAX_NDIM}-d, got {arr.ndim}-d")
+        shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
+        chunks.append(_FRAME.pack(_MAGIC, WIRE_VERSION, kind, session_id,
+                                  request_id, flags, index, len(arrays),
+                                  _DTYPE_CODES[arr.dtype], arr.ndim, 0, *shape))
+        chunks.append(np.ascontiguousarray(arr).tobytes())
+    return b"".join(chunks)
+
+
+def _unpack(data: bytes, expected_kind: int
+            ) -> tuple[int, int, int, list[np.ndarray]]:
+    """Parse frames; returns ``(session_id, request_id, flags, arrays)``."""
+    offset = 0
+    header: tuple[int, int, int] | None = None
+    count = None
+    arrays: list[np.ndarray] = []
+    while offset < len(data):
+        if len(data) - offset < _FRAME.size:
+            raise ProtocolError("truncated frame header")
+        (magic, version, kind, session_id, request_id, flags, index,
+         array_count, dtype_code, ndim, _reserved, *shape6) = _FRAME.unpack_from(
+            data, offset)
+        offset += _FRAME.size
+        if magic != _MAGIC:
+            raise ProtocolError(f"bad magic {magic!r}")
+        if version != WIRE_VERSION:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        if kind != expected_kind:
+            raise ProtocolError(f"unexpected message kind {kind}")
+        if not 1 <= ndim <= _MAX_NDIM:
+            raise ProtocolError(f"bad ndim {ndim}")
+        if dtype_code not in _CODE_DTYPES:
+            raise ProtocolError(f"unknown dtype code {dtype_code}")
+        if header is None:
+            header, count = (session_id, request_id, flags), array_count
+        elif header != (session_id, request_id, flags) or count != array_count:
+            raise ProtocolError("inconsistent frame headers within one message")
+        if index != len(arrays):
+            raise ProtocolError(f"out-of-order frame index {index}")
+        dtype = _CODE_DTYPES[dtype_code]
+        shape = tuple(shape6[:ndim])
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if len(data) - offset < nbytes:
+            raise ProtocolError("truncated array payload")
+        arr = np.frombuffer(data, dtype=dtype, count=int(np.prod(shape)),
+                            offset=offset).reshape(shape).copy()
+        arrays.append(arr)
+        offset += nbytes
+    if header is None:
+        raise ProtocolError("empty message")
+    if len(arrays) != count:
+        raise ProtocolError(f"expected {count} arrays, got {len(arrays)}")
+    return (*header, arrays)
+
+
+@dataclasses.dataclass
+class UploadRequest:
+    """Client -> server: one noised intermediate-feature tensor.
+
+    ``record`` mirrors the pipelines' attack-capture flag: a semi-honest
+    server may retain the uploaded features for its inversion decoder.
+    """
+
+    session_id: int
+    request_id: int
+    features: np.ndarray
+    record: bool = False
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def coalesce_key(self) -> tuple:
+        """Requests coalesce iff their per-sample shape and dtype agree."""
+        return (self.features.shape[1:], self.features.dtype)
+
+    def wire_nbytes(self) -> int:
+        """Exact length of :meth:`to_bytes` without materialising it."""
+        return _frame_nbytes([self.features])
+
+    def to_bytes(self) -> bytes:
+        flags = _FLAG_RECORD if self.record else 0
+        return _pack(_KIND_UPLOAD, self.session_id, self.request_id, flags,
+                     [self.features])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UploadRequest":
+        session_id, request_id, flags, arrays = _unpack(data, _KIND_UPLOAD)
+        if len(arrays) != 1:
+            raise ProtocolError(f"upload carries one tensor, got {len(arrays)}")
+        return cls(session_id, request_id, arrays[0],
+                   record=bool(flags & _FLAG_RECORD))
+
+
+@dataclasses.dataclass
+class FeatureResponse:
+    """Server -> client: all N per-body feature maps for one request.
+
+    Every client always receives all N maps — which P of them the tail
+    consumes is decided by the session's private selector and never
+    crosses the wire.
+    """
+
+    session_id: int
+    request_id: int
+    outputs: list[np.ndarray]
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.outputs)
+
+    def wire_nbytes(self) -> int:
+        """Exact length of :meth:`to_bytes` without materialising it."""
+        return _frame_nbytes(self.outputs)
+
+    def to_bytes(self) -> bytes:
+        return _pack(_KIND_RESPONSE, self.session_id, self.request_id, 0,
+                     list(self.outputs))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FeatureResponse":
+        session_id, request_id, _flags, arrays = _unpack(data, _KIND_RESPONSE)
+        return cls(session_id, request_id, arrays)

@@ -1,0 +1,246 @@
+"""The multi-tenant inference service: tick-based cross-client coalescing.
+
+Ensembler's server must run *all* N bodies for every upload (the client's
+P-subset is secret), so its hot path is embarrassingly batchable: the
+fused :class:`~repro.nn.batched.StackedBodies` engine makes the marginal
+cost of extra samples in one stacked pass near-linear, while every extra
+*pass* pays fixed interpreter/im2col dispatch overhead.  The
+:class:`InferenceService` therefore queues concurrent client uploads and,
+on each deterministic ``tick()``, coalesces up to ``max_batch`` of them
+along the batch axis into **one** stacked forward over all N bodies, then
+splits the N feature maps back out per request and routes each response
+through its session's own channel.
+
+Determinism and equivalence
+---------------------------
+Scheduling is strict FIFO: a tick takes the longest queue prefix (capped
+at ``max_batch``) whose requests share a per-sample feature shape/dtype
+— requests are never reordered, so byte accounting, record order and
+outputs are reproducible.  Because every op in the body stack is
+per-sample along the batch axis in eval mode, the coalesced pass is
+output-equivalent (≤1e-5) to serving each request alone.
+
+Backpressure
+------------
+The queue is bounded (``max_queue``): ``submit`` on a full queue raises
+:class:`BackpressureError` *before* any bytes are accounted — admission
+control happens ahead of transmission — and bumps the service's
+``rejected_requests`` counter so load shedding is observable.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+import numpy as np
+
+from repro.ci.channel import Channel, TransferStats
+from repro.ci.pipeline import Client, Server
+from repro.serving.protocol import FeatureResponse, UploadRequest
+from repro.serving.session import Session
+
+
+class BackpressureError(RuntimeError):
+    """The service queue is full; the client must retry later."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Scheduler shape of one deployment (presets carry one of these)."""
+
+    max_batch: int = 8   # requests coalesced into one stacked pass
+    max_queue: int = 64  # bounded-queue backpressure threshold
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Aggregate scheduler counters (transfer totals live per session)."""
+
+    ticks: int = 0
+    served_requests: int = 0
+    served_samples: int = 0
+    rejected_requests: int = 0
+    peak_coalesced: int = 0
+
+    @property
+    def mean_coalesced(self) -> float:
+        """Average requests per stacked pass — the amortisation factor."""
+        return self.served_requests / self.ticks if self.ticks else 0.0
+
+
+class InferenceService:
+    """Shared server front-end multiplexing many client sessions.
+
+    ``server`` may be a configured :class:`~repro.ci.pipeline.Server` or a
+    plain body list (wrapped with the default batched backend).  The
+    service never sees a selector or a noise map: it forwards uploaded
+    features through all N bodies and returns all N maps, per session.
+    """
+
+    def __init__(self, server: Server | list, max_batch: int = 8,
+                 max_queue: int = 64):
+        if not isinstance(server, Server):
+            server = Server(list(server))
+        self.config = ServingConfig(max_batch=max_batch, max_queue=max_queue)
+        self.server = server
+        self.stats = ServiceStats()
+        self._queue: collections.deque[UploadRequest] = collections.deque()
+        self._sessions: dict[int, Session] = {}
+        self._next_session_id = 1
+        # Traffic already accounted by sessions that have since closed —
+        # service-level totals must not shrink on tenant churn.
+        self._closed_transfer = TransferStats()
+
+    @classmethod
+    def from_config(cls, server: Server | list,
+                    config: ServingConfig) -> "InferenceService":
+        return cls(server, max_batch=config.max_batch, max_queue=config.max_queue)
+
+    # -- session management ---------------------------------------------
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.server.bodies)
+
+    @property
+    def sessions(self) -> tuple[Session, ...]:
+        return tuple(self._sessions.values())
+
+    @property
+    def pending(self) -> int:
+        """Queued requests not yet served."""
+        return len(self._queue)
+
+    def open_session(self, head, tail, *, selector=None, noise=None,
+                     noise_seed: int | None = None,
+                     noise_shape: tuple[int, ...] | None = None,
+                     noise_sigma: float = 0.1,
+                     channel: Channel | None = None) -> Session:
+        """Register a new tenant from its client-side parts.
+
+        ``noise_seed`` (with ``noise_shape``) draws this session its own
+        fixed Gaussian map — per-tenant noise without sharing RNG state —
+        unless an explicit ``noise`` module is given.
+        """
+        if noise is None and noise_seed is not None:
+            from repro.core.noise import FixedGaussianNoise
+            from repro.utils.rng import new_rng
+            if noise_shape is None:
+                raise ValueError("noise_seed requires noise_shape")
+            noise = FixedGaussianNoise(noise_shape, noise_sigma,
+                                       rng=new_rng(noise_seed))
+        client = Client(head, tail, noise=noise, selector=selector)
+        return self.adopt_session(client, channel=channel)
+
+    def adopt_session(self, client: Client,
+                      channel: Channel | None = None) -> Session:
+        """Register an already-built :class:`Client` as a tenant."""
+        session = Session(self._next_session_id, client, self, channel=channel)
+        self._sessions[session.session_id] = session
+        self._next_session_id += 1
+        return session
+
+    def close_session(self, session: Session) -> None:
+        """Drop a tenant; its queued requests are discarded, its
+        already-accounted traffic is retained in the service totals."""
+        closed = self._sessions.pop(session.session_id, None)
+        if closed is not None:
+            self._closed_transfer.merge(closed.stats)
+        self._queue = collections.deque(
+            r for r in self._queue if r.session_id != session.session_id)
+
+    # -- request path ---------------------------------------------------
+
+    def submit(self, request: UploadRequest) -> int:
+        """Enqueue one upload; accounts its framed bytes on the session.
+
+        Raises :class:`BackpressureError` when the bounded queue is full
+        (nothing is transmitted or accounted in that case).
+        """
+        try:
+            session = self._sessions[request.session_id]
+        except KeyError:
+            raise KeyError(f"unknown session id {request.session_id}") from None
+        if len(self._queue) >= self.config.max_queue:
+            self.stats.rejected_requests += 1
+            raise BackpressureError(
+                f"service queue full ({self.config.max_queue} pending); "
+                f"retry after a tick")
+        session.channel.send_up(request)
+        self._queue.append(request)
+        return request.request_id
+
+    def tick(self) -> list[FeatureResponse]:
+        """One deterministic scheduler step: serve the next coalesced group.
+
+        Takes the longest FIFO prefix of the queue (≤ ``max_batch``
+        requests) whose per-sample feature shapes agree, runs **one**
+        forward over all N bodies, splits the stacked outputs back per
+        request and delivers each response over its session's channel.
+        """
+        if not self._queue:
+            return []
+        group = [self._queue.popleft()]
+        key = group[0].coalesce_key
+        while self._queue and len(group) < self.config.max_batch:
+            if self._queue[0].coalesce_key != key:
+                break
+            group.append(self._queue.popleft())
+
+        # Per-request attack capture, in FIFO order: identical to what K
+        # sequential pipeline.infer(record=True) calls would retain.
+        for request in group:
+            if request.record:
+                self.server.observed_features.append(
+                    np.array(request.features, copy=True))
+
+        if len(group) == 1:
+            batch = group[0].features
+        else:
+            batch = np.concatenate([r.features for r in group], axis=0)
+        outputs = self.server.compute(batch)
+
+        responses = []
+        offset = 0
+        for request in group:
+            n = request.batch_size
+            outs = [np.ascontiguousarray(out[offset:offset + n])
+                    for out in outputs]
+            offset += n
+            response = FeatureResponse(request.session_id, request.request_id,
+                                       outs)
+            session = self._sessions.get(request.session_id)
+            if session is not None:  # session may have closed mid-flight
+                session.channel.send_down(response)
+                session._deliver(response)
+            responses.append(response)
+
+        self.stats.ticks += 1
+        self.stats.served_requests += len(group)
+        self.stats.served_samples += offset
+        self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(group))
+        return responses
+
+    def run_until_idle(self, max_ticks: int = 100_000) -> int:
+        """Tick until the queue drains; returns the number of ticks run."""
+        ticks = 0
+        while self._queue:
+            if ticks >= max_ticks:
+                raise RuntimeError(f"queue did not drain in {max_ticks} ticks")
+            self.tick()
+            ticks += 1
+        return ticks
+
+    # -- aggregate accounting -------------------------------------------
+
+    def transfer_totals(self) -> TransferStats:
+        """Service-level traffic: every session's counters, open or closed."""
+        return sum((s.stats for s in self._sessions.values()),
+                   dataclasses.replace(self._closed_transfer))

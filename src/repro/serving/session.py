@@ -1,0 +1,117 @@
+"""Per-client sessions over the multi-tenant serving API.
+
+A :class:`Session` is one tenant's view of an
+:class:`~repro.serving.service.InferenceService`: it owns the client-side
+halves of the split network (head, tail, noise, the private selector),
+its own byte-counting channel, and the bookkeeping of outstanding
+requests.  Nothing client-secret ever reaches the service — the selector
+and noise map live here, and the wire carries only the noised features up
+and all N feature maps down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ci.channel import Channel, TransferStats
+from repro.ci.pipeline import Client
+from repro.serving.protocol import FeatureResponse, UploadRequest
+
+
+class Session:
+    """One client's connection to an :class:`InferenceService`.
+
+    Sessions are created by :meth:`InferenceService.open_session` (from
+    head/tail/noise/selector parts) or :meth:`InferenceService.adopt_session`
+    (from an existing :class:`~repro.ci.pipeline.Client`); they should not
+    be constructed directly.
+    """
+
+    def __init__(self, session_id: int, client: Client, service,
+                 channel: Channel | None = None):
+        self.session_id = session_id
+        self.client = client
+        self.channel = channel if channel is not None else Channel()
+        self._service = service
+        self._next_request_id = 0
+        self._responses: dict[int, FeatureResponse] = {}
+        self._pending: set[int] = set()  # submitted, not yet served
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def stats(self) -> TransferStats:
+        """This session's own traffic counters."""
+        return self.channel.stats
+
+    @property
+    def selector(self):
+        """The session's private selector (client-side code only)."""
+        return self.client._selector
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet served by a tick."""
+        return len(self._pending)
+
+    # -- request side ---------------------------------------------------
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """The features this client would upload: ``M_c,h(x) + noise``."""
+        return self.client.encode(images)
+
+    def submit(self, images: np.ndarray, record: bool = False) -> int:
+        """Encode ``images`` client-side and enqueue the upload.
+
+        Returns the request id to :meth:`result` on later.  Raises
+        :class:`~repro.serving.service.BackpressureError` (without
+        transmitting anything) when the service queue is full.
+        """
+        return self.submit_features(self.encode(images), record=record)
+
+    def submit_features(self, features: np.ndarray, record: bool = False) -> int:
+        """Enqueue pre-encoded features (the raw protocol-level entry)."""
+        request = UploadRequest(self.session_id, self._next_request_id,
+                                np.asarray(features), record=record)
+        self._next_request_id += 1
+        self._service.submit(request)
+        self._pending.add(request.request_id)
+        return request.request_id
+
+    # -- response side --------------------------------------------------
+
+    def _deliver(self, response: FeatureResponse) -> None:
+        """Called by the service when a tick serves one of our requests."""
+        self._responses[response.request_id] = response
+        self._pending.discard(response.request_id)
+
+    def has_result(self, request_id: int) -> bool:
+        return request_id in self._responses
+
+    def result(self, request_id: int) -> np.ndarray:
+        """Decode a served request: private selection + tail -> logits.
+
+        Pops the stored response; each result can be consumed once.
+        """
+        try:
+            response = self._responses.pop(request_id)
+        except KeyError:
+            if request_id in self._pending:
+                raise KeyError(
+                    f"request {request_id} of session {self.session_id} has no "
+                    f"result yet — run service.tick()/run_until_idle() first"
+                ) from None
+            raise KeyError(
+                f"request {request_id} of session {self.session_id} was "
+                f"already consumed (results pop on read) or never submitted"
+            ) from None
+        if self.client._selector is None:
+            # Selector-less (standard-CI) clients consume the single body's map.
+            return self.client.decide(response.outputs[0])
+        return self.client.decide(list(response.outputs))
+
+    def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
+        """Single-tenant convenience: submit, drain the service, decode."""
+        request_id = self.submit(images, record=record)
+        self._service.run_until_idle()
+        return self.result(request_id)

@@ -108,6 +108,92 @@ class TestRoles:
         server.compute(rng.random((1, 8, 8, 8)).astype(np.float32))
         assert server.observed_features == []
 
+    def test_direct_train_call_bypasses_stale_stacked_mirror(self):
+        """Regression: ``body.train()`` without ``sync()`` must not serve
+        stale eval-mode semantics from the batched mirror — train-mode
+        detection reads the bodies, not the mirror's flag."""
+        config = tiny_config()
+        bodies = [ResNet(config, rng=new_rng(i)).body for i in range(3)]
+        for body in bodies:
+            body.eval()
+        server = Server(bodies)
+        assert server.backend == "batched"
+        for body in bodies:
+            body.train()  # direct mode flip, deliberately no server.sync()
+        features = rng.random((4, 8, 8, 8)).astype(np.float32)
+
+        def first_bn(body):
+            return getattr(getattr(body.stages, "0"), "0").bn1
+
+        running_means = [np.array(first_bn(body).running_mean, copy=True)
+                         for body in bodies]
+        outputs = server.compute(features)
+        # the looped train-mode path served: BN running stats moved in place
+        for body, old_mean in zip(bodies, running_means):
+            assert np.abs(first_bn(body).running_mean - old_mean).max() > 0
+        # and the outputs match a reference looped server in train mode
+        reference = Server([ResNet(config, rng=new_rng(i)).body.train()
+                            for i in range(3)], backend="looped")
+        expected = reference.compute(features)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_eval_after_direct_train_uses_batched_path_again(self):
+        config = tiny_config()
+        bodies = [ResNet(config, rng=new_rng(i)).body for i in range(3)]
+        server = Server(bodies)
+        for body in bodies:
+            body.train()
+        server.sync()
+        for body in bodies:
+            body.eval()  # again direct, no sync
+        features = rng.random((2, 8, 8, 8)).astype(np.float32)
+        outputs = server.compute(features)
+        looped = Server([b for b in bodies], backend="looped")
+        for got, want in zip(outputs, looped.compute(features)):
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_train_pass_then_eval_resyncs_stale_mirror(self):
+        """Regression: a train-mode looped pass moves the bodies' BN running
+        statistics; the next eval-mode fused serve must not answer from the
+        mirror's pre-training statistics."""
+        config = tiny_config()
+        bodies = [ResNet(config, rng=new_rng(i)).body for i in range(3)]
+        for body in bodies:
+            body.eval()
+        server = Server(bodies)  # mirror synced to pre-training stats
+        features = rng.random((4, 8, 8, 8)).astype(np.float32)
+        for body in bodies:
+            body.train()
+        server.compute(features)  # looped train pass mutates BN stats
+        for body in bodies:
+            body.eval()  # direct, deliberately no server.sync()
+        outputs = server.compute(features)
+        reference = Server(bodies, backend="looped").compute(features)
+        for got, want in zip(outputs, reference):
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_mixed_mode_ensemble_takes_the_loop(self):
+        """One train-mode body must route the whole request down the loop —
+        its BN statistics update in place, never the eval mirror's."""
+        config = tiny_config()
+        bodies = [ResNet(config, rng=new_rng(i)).body for i in range(3)]
+        for body in bodies:
+            body.eval()
+        server = Server(bodies)
+        bodies[1].train()  # bodies[0] still eval: the old first-body check lied
+
+        def first_bn(body):
+            return getattr(getattr(body.stages, "0"), "0").bn1
+
+        before = np.array(first_bn(bodies[1]).running_mean, copy=True)
+        features = rng.random((4, 8, 8, 8)).astype(np.float32)
+        outputs = server.compute(features)
+        assert np.abs(first_bn(bodies[1]).running_mean - before).max() > 0
+        reference = Server(bodies, backend="looped").compute(features)
+        for got, want in zip(outputs, reference):
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
 
 class TestStandardPipeline:
     def test_matches_monolithic_model(self):

@@ -130,6 +130,42 @@ class TestLatencyModel:
         with pytest.raises(ValueError):
             LatencyModel().ensembler(self.make_workload(), 0)
 
+    def test_coalesced_r1_matches_ensembler(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        ens = model.ensembler(workload, 10)
+        coal = model.ensembler_coalesced(workload, 10, coalesced=1)
+        assert coal.server_s == pytest.approx(ens.server_s)
+        assert coal.client_s == pytest.approx(ens.client_s)
+        assert coal.communication_s == pytest.approx(ens.communication_s)
+
+    def test_coalescing_amortises_serial_overhead(self):
+        """Per-request server time decreases monotonically with the number
+        of coalesced requests; client and communication stay per-session."""
+        model = LatencyModel()
+        workload = self.make_workload()
+        rows = [model.ensembler_coalesced(workload, 10, coalesced=r)
+                for r in (1, 4, 16)]
+        assert rows[0].server_s > rows[1].server_s > rows[2].server_s
+        base = model.server.seconds(workload.server_body_flops)
+        assert rows[2].server_s > base  # never below the raw body pass
+        for row in rows:
+            assert row.client_s == pytest.approx(rows[0].client_s)
+            assert row.communication_s == pytest.approx(rows[0].communication_s)
+
+    def test_coalescing_needs_fused_server(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        looped = model.ensembler_coalesced(workload, 10, coalesced=8, fused=False)
+        assert looped.server_s == pytest.approx(
+            model.ensembler(workload, 10, fused=False).server_s)
+
+    def test_coalesced_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel().ensembler_coalesced(self.make_workload(), 10, coalesced=0)
+        with pytest.raises(ValueError):
+            LatencyModel().ensembler_coalesced(self.make_workload(), 0)
+
     def test_paper_calibration_holds(self):
         """The calibrated model must reproduce Table III within 2%."""
         workload = workload_from_model(ResNetConfig(num_classes=10), 32, 128)
