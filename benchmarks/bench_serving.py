@@ -11,12 +11,21 @@ N-body Ensembler server:
 
 Only the server plane is timed (requests carry pre-encoded features via
 ``submit_features``); client-side head/tail work is identical in both modes
-and amortisation is a server-side property.  Run as pytest
-(``pytest benchmarks/bench_serving.py -s``) or directly
-(``python benchmarks/bench_serving.py``).  Either way a record is appended
-to the ``BENCH_serving.json`` history at the repo root; the pytest entry
-additionally asserts the acceptance bar (coalesced throughput ≥ 1.5x
-sequential for 8 sessions at N=8 bodies, outputs matching to ≤ 1e-5).
+and amortisation is a server-side property.
+
+A second, **scheduler-comparison** mode (``run_scheduler_benchmark``)
+exercises the pluggable-policy layer: simulated p95/p99 latency of
+fifo vs fair-share vs deadline scheduling on a bursty arrival trace
+(virtual clock, deterministic), wall-clock fair-share vs FIFO serving
+throughput on the same request wave, and fp32 vs fp16 downlink bytes of
+the negotiated wire codec.
+
+Run as pytest (``pytest benchmarks/bench_serving.py -s``) or directly
+(``python benchmarks/bench_serving.py``).  Either way records are appended
+to the ``BENCH_serving.json`` history at the repo root; the pytest entries
+additionally assert the acceptance bars (coalesced throughput ≥ 1.5x
+sequential for 8 sessions at N=8 bodies with outputs ≤ 1e-5; deadline p95
+below FIFO p95 on the bursty trace; fp16 downlink reduction ≥ 1.9x).
 """
 
 import sys
@@ -36,7 +45,13 @@ from bench_ensemble import build_bodies, time_fn  # noqa: E402
 from repro import nn  # noqa: E402
 from repro.ci import Server  # noqa: E402
 from repro.ci.pipeline import Client  # noqa: E402
-from repro.serving import InferenceService  # noqa: E402
+from repro.serving import (  # noqa: E402
+    DeadlineScheduler,
+    InferenceService,
+    TickCost,
+    bursty_trace,
+    simulate,
+)
 
 NUM_NETS = 8
 SESSION_COUNTS = (2, 4, 8)
@@ -64,7 +79,7 @@ def _serve_wave(service, sessions, features) -> list:
     """All sessions upload one request, then the service drains the queue."""
     request_ids = [session.submit_features(features) for session in sessions]
     service.run_until_idle()
-    return [session._responses.pop(rid).outputs
+    return [session.take_response(rid).outputs
             for session, rid in zip(sessions, request_ids)]
 
 
@@ -117,6 +132,146 @@ def run_benchmark(session_counts=SESSION_COUNTS, num_nets=NUM_NETS,
     }
 
 
+def _make_policy_service(bodies, scheduler, num_sessions, max_batch=4,
+                         codec="fp32"):
+    service = InferenceService(Server(bodies), max_batch=max_batch,
+                               max_queue=64, scheduler=scheduler, codec=codec)
+    sessions = [service.adopt_session(Client(nn.Identity(), nn.Identity()))
+                for _ in range(num_sessions)]
+    return service, sessions
+
+
+def _simulated_tail_latency(bodies, features, num_sessions) -> list[dict]:
+    """Virtual-clock p50/p95/p99 of each policy on one bursty trace."""
+    cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+    trace = bursty_trace(num_sessions=num_sessions, bursts=3, burst_size=16,
+                         burst_gap_s=0.08, deadline_s=0.04)
+    policies = {
+        "fifo": "fifo",
+        "fair": "fair",
+        "deadline": DeadlineScheduler(pass_overhead_s=cost.pass_overhead_s,
+                                      sample_cost_s=cost.per_sample_s,
+                                      max_group_samples=16),
+    }
+    rows = []
+    for name, policy in policies.items():
+        service, sessions = _make_policy_service(bodies, policy, num_sessions)
+        report = simulate(service, sessions, trace, cost,
+                          default_features=features)
+        rows.append({
+            "scheduler": name,
+            "p50_ms": report.p50_s * 1e3,
+            "p95_ms": report.p95_s * 1e3,
+            "p99_ms": report.p99_s * 1e3,
+            "slo_violations": report.violations,
+            "ticks": report.ticks,
+            "served": report.served,
+        })
+    return rows
+
+
+def _wall_clock_throughput(bodies, features, num_sessions,
+                           requests_per_session, repeats) -> dict:
+    """Real serve time of the same wave under FIFO vs fair-share."""
+    def serve(scheduler):
+        service, sessions = _make_policy_service(bodies, scheduler,
+                                                 num_sessions)
+
+        def wave():
+            for _ in range(requests_per_session):
+                for session in sessions:
+                    session.submit_features(features)
+            service.run_until_idle()
+            for session in sessions:
+                session.discard_results()
+        return time_fn(wave, repeats=repeats)
+
+    fifo_s = serve("fifo")
+    fair_s = serve("fair")
+    return {
+        "fifo_s": fifo_s,
+        "fair_s": fair_s,
+        "fair_vs_fifo": fifo_s / fair_s,
+    }
+
+
+def _codec_downlink(bodies, features, num_sessions) -> dict:
+    """Downlink bytes and output drift of fp16 vs fp32 sessions.
+
+    Measured on multi-image requests: narrowing halves the *payload* of
+    each framed feature map, so the reduction approaches 2x as payloads
+    dominate the fixed 64-byte per-array frame headers (single-image maps
+    of tiny benchmark bodies are header-bound and would understate it).
+    """
+    def serve(codec):
+        service, sessions = _make_policy_service(bodies, "fifo", num_sessions,
+                                                 codec=codec)
+        request_ids = [s.submit_features(features) for s in sessions]
+        service.run_until_idle()
+        outputs = [s.take_response(rid).decoded()
+                   for s, rid in zip(sessions, request_ids)]
+        downlink = sum(s.stats.downlink_bytes for s in sessions)
+        return downlink, outputs
+
+    fp32_bytes, fp32_out = serve("fp32")
+    fp16_bytes, fp16_out = serve("fp16")
+    max_abs_diff = max(
+        float(np.abs(a - b).max())
+        for outs16, outs32 in zip(fp16_out, fp32_out)
+        for a, b in zip(outs16, outs32))
+    return {
+        "fp32_downlink_bytes": fp32_bytes,
+        "fp16_downlink_bytes": fp16_bytes,
+        "downlink_reduction": fp32_bytes / fp16_bytes,
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def run_scheduler_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
+                            spatial=SPATIAL, requests_per_session=4,
+                            codec_batch=8, repeats: int = 5) -> dict:
+    """Compare scheduling policies and wire codecs; returns the JSON record."""
+    rng = np.random.default_rng(1)
+    features = rng.random((REQUEST_BATCH, width, spatial, spatial),
+                          dtype=np.float32)
+    codec_features = rng.random((codec_batch, width, spatial, spatial),
+                                dtype=np.float32)
+    bodies = build_bodies(num_nets, width)
+    return {
+        "benchmark": "serving_schedulers",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_nets": num_nets,
+        "num_sessions": num_sessions,
+        "width": width,
+        "spatial": spatial,
+        "simulated": _simulated_tail_latency(bodies, features, num_sessions),
+        "throughput": _wall_clock_throughput(bodies, features, num_sessions,
+                                             requests_per_session, repeats),
+        "codec_batch": codec_batch,
+        "codec": _codec_downlink(bodies, codec_features, num_sessions),
+    }
+
+
+def print_scheduler_record(record: dict) -> None:
+    print(f"\nscheduler comparison (N={record['num_nets']} bodies, "
+          f"S={record['num_sessions']} sessions, bursty trace)")
+    print(f"{'policy':>10}  {'p50 [ms]':>9}  {'p95 [ms]':>9}  {'p99 [ms]':>9}  "
+          f"{'SLO viol':>8}  {'ticks':>6}")
+    for row in record["simulated"]:
+        print(f"{row['scheduler']:>10}  {row['p50_ms']:>9.1f}  "
+              f"{row['p95_ms']:>9.1f}  {row['p99_ms']:>9.1f}  "
+              f"{row['slo_violations']:>8}  {row['ticks']:>6}")
+    thr = record["throughput"]
+    print(f"wall-clock wave: fifo {thr['fifo_s'] * 1e3:.2f} ms, "
+          f"fair {thr['fair_s'] * 1e3:.2f} ms "
+          f"(fair/fifo throughput {thr['fair_vs_fifo']:.2f}x)")
+    codec = record["codec"]
+    print(f"downlink codec: fp32 {codec['fp32_downlink_bytes']} B, "
+          f"fp16 {codec['fp16_downlink_bytes']} B "
+          f"({codec['downlink_reduction']:.2f}x smaller, "
+          f"max |diff| {codec['max_abs_diff']:.2e})")
+
+
 def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
     """Append ``record`` to the per-PR history list at ``path``."""
     return _write_record(record, path)
@@ -149,8 +304,31 @@ def test_coalesced_serving_throughput():
         f"{by_s[8]['throughput_ratio']:.2f}x")
 
 
+def test_scheduler_comparison():
+    """Acceptance bars for the pluggable-policy layer: adaptive deadline
+    batching beats drain-the-queue FIFO p95 on a bursty trace, and the
+    fp16 codec cuts downlink bytes ≥ 1.9x at ≤ 1e-2 output drift."""
+    record = run_scheduler_benchmark()
+    write_record(record)
+    print_scheduler_record(record)
+    by_policy = {row["scheduler"]: row for row in record["simulated"]}
+    assert by_policy["deadline"]["p95_ms"] < by_policy["fifo"]["p95_ms"], (
+        f"deadline p95 ({by_policy['deadline']['p95_ms']:.1f} ms) must beat "
+        f"FIFO p95 ({by_policy['fifo']['p95_ms']:.1f} ms) on the bursty trace")
+    assert by_policy["deadline"]["slo_violations"] <= by_policy["fifo"]["slo_violations"]
+    assert record["codec"]["downlink_reduction"] >= 1.9, (
+        f"fp16 codec must cut downlink bytes ≥1.9x, got "
+        f"{record['codec']['downlink_reduction']:.2f}x")
+    assert record["codec"]["max_abs_diff"] <= 1e-2, (
+        f"fp16 feature drift above documented tolerance: "
+        f"{record['codec']['max_abs_diff']:.2e}")
+
+
 if __name__ == "__main__":
     rec = run_benchmark()
     out = write_record(rec)
     print_record(rec)
-    print(f"\nrecord written to {out}")
+    sched = run_scheduler_benchmark()
+    write_record(sched)
+    print_scheduler_record(sched)
+    print(f"\nrecords written to {out}")

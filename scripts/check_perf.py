@@ -14,6 +14,10 @@ benchmarks live in ``benchmarks/``):
   must not serve slower than one pass per request for >= 4 concurrent
   sessions (the multi-tenant regime), with per-request outputs matching to
   1e-5.
+* **scheduler/codec** — the fair-share scheduler must not degrade serving
+  throughput vs FIFO by more than 10% on the same request wave, deadline
+  scheduling must beat drain-the-queue FIFO p95 on the bursty trace, and
+  the negotiated fp16 codec must cut downlink bytes by >= 1.9x.
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -109,8 +113,43 @@ def check_serving() -> list[str]:
     return measure_with_retry(measure, "serving")
 
 
+def check_schedulers() -> list[str]:
+    """Policy-layer gates: fairness must be near-free, fp16 must halve the
+    downlink, and deadline batching must beat FIFO tails.
+
+    As with the serving gate, every measurement is appended to
+    ``BENCH_serving.json`` so the CI artifact records what the gate saw.
+    """
+    bench = load_bench("bench_serving")
+
+    def measure() -> list[str]:
+        record = bench.run_scheduler_benchmark(repeats=3)
+        bench.write_record(record)
+        bench.print_scheduler_record(record)
+        failures = []
+        ratio = record["throughput"]["fair_vs_fifo"]
+        if ratio < 0.9:
+            failures.append(
+                f"scheduler: fair-share degrades throughput vs FIFO by more "
+                f"than 10% ({ratio:.2f}x)")
+        by_policy = {row["scheduler"]: row for row in record["simulated"]}
+        if by_policy["deadline"]["p95_ms"] >= by_policy["fifo"]["p95_ms"]:
+            failures.append(
+                f"scheduler: deadline p95 ({by_policy['deadline']['p95_ms']:.1f} ms) "
+                f"does not beat FIFO p95 ({by_policy['fifo']['p95_ms']:.1f} ms)")
+        reduction = record["codec"]["downlink_reduction"]
+        if reduction < 1.9:
+            failures.append(
+                f"codec: fp16 downlink reduction {reduction:.2f}x below the "
+                f"1.9x bar")
+        return failures
+
+    return measure_with_retry(measure, "scheduler")
+
+
 def main() -> int:
-    failures = check_ensemble() + check_attack() + check_serving()
+    failures = (check_ensemble() + check_attack() + check_serving()
+                + check_schedulers())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
@@ -118,7 +157,9 @@ def main() -> int:
         return 1
     print("\nperf check ok: batched >= looped for N >= 5, "
           "fused attack >= looped for K >= 7, "
-          "coalesced serving >= sequential for S >= 4")
+          "coalesced serving >= sequential for S >= 4, "
+          "fair-share within 10% of FIFO, deadline p95 < FIFO p95, "
+          "fp16 downlink >= 1.9x smaller")
     return 0
 
 

@@ -160,7 +160,11 @@ class _SingleSessionPipeline:
         self.client = client
         self.server = server
         self.channel = channel if channel is not None else Channel()
-        self._service = InferenceService(server, max_batch=1, max_queue=1)
+        # Single-tenant adapters pin the historical policy: FIFO scheduling
+        # and the identity fp32 codec, so byte accounting and outputs stay
+        # bit-for-bit comparable with the pre-serving pipelines.
+        self._service = InferenceService(server, max_batch=1, max_queue=1,
+                                         scheduler="fifo", codec="fp32")
         self._session = self._service.adopt_session(client, channel=self.channel)
 
     @property

@@ -71,19 +71,28 @@ class ExperimentPreset:
         execution is batched, so one switch flips the whole experiment."""
         return "fused" if self.backend == "batched" else "looped"
 
-    def inference_service(self, server_or_bodies):
+    def inference_service(self, server_or_bodies, *, scheduler: str | None = None,
+                          codec: str | None = None):
         """Build the preset-shaped multi-tenant serving front-end.
 
         Accepts a configured :class:`~repro.ci.pipeline.Server` or a plain
         body list (wrapped with this preset's execution backend), and
         applies the preset's :class:`ServingConfig` scheduler shape.
+        ``scheduler`` / ``codec`` override the preset's policy without
+        rebuilding the config (e.g. ``scheduler="fair"`` for multi-tenant
+        fairness, ``codec="fp16"`` for dtype-narrowed downlinks).
         """
         from repro.ci.pipeline import Server
         from repro.serving.service import InferenceService
 
         if not isinstance(server_or_bodies, Server):
             server_or_bodies = Server(list(server_or_bodies), backend=self.backend)
-        return InferenceService.from_config(server_or_bodies, self.serving)
+        config = self.serving
+        overrides = {k: v for k, v in
+                     (("scheduler", scheduler), ("codec", codec)) if v is not None}
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        return InferenceService.from_config(server_or_bodies, config)
 
     def ensembler_config(self, spec: DatasetSpec) -> EnsemblerConfig:
         return EnsemblerConfig(

@@ -66,6 +66,21 @@ class LatencyModel:
         self.network = network
         self.serial_fraction = serial_fraction
 
+    @staticmethod
+    def codec_downlink_bytes(nbytes: int, codec="fp32") -> int:
+        """Wire size of one framed downlink tensor under a serving codec.
+
+        ``nbytes`` is the fp32 framed size (payload + ``HEADER_BYTES``);
+        the fp16 codec halves the payload, never the frame header —
+        matching the exact accounting of the narrowed
+        :class:`~repro.serving.protocol.FeatureResponse` frames.
+        """
+        from repro.serving.protocol import Codec
+
+        if Codec.parse(codec) is Codec.FP16:
+            return (nbytes - HEADER_BYTES) // 2 + HEADER_BYTES
+        return nbytes
+
     def standard_ci(self, workload: SplitWorkload) -> LatencyBreakdown:
         """Classical split inference: one body, one upload, one download."""
         client = self.client.seconds(workload.client_head_flops + workload.client_tail_flops)
@@ -75,7 +90,7 @@ class LatencyModel:
         return LatencyBreakdown("standard-ci", client, server, comm)
 
     def ensembler(self, workload: SplitWorkload, num_nets: int,
-                  fused: bool = True) -> LatencyBreakdown:
+                  fused: bool = True, downlink_codec="fp32") -> LatencyBreakdown:
         """Ensembler: same upload, N concurrent bodies, N downloads.
 
         Client time is unchanged by design (Section III-D): the head runs
@@ -87,6 +102,9 @@ class LatencyModel:
         only a small serial fraction scales with N — the ~4% overhead the
         paper reports for N=10.  ``fused=False`` models a server that loops
         the bodies sequentially and pays the full N× body time.
+        ``downlink_codec="fp16"`` models a session that negotiated the
+        dtype-narrowing wire codec: the N feature downloads — the dominant
+        communication term — shrink to their narrowed framed size.
         """
         if num_nets < 1:
             raise ValueError("num_nets must be >= 1")
@@ -96,13 +114,16 @@ class LatencyModel:
             server = base * (1.0 + self.serial_fraction * (num_nets - 1))
         else:
             server = base * num_nets
+        down = self.codec_downlink_bytes(workload.download_bytes_per_net,
+                                         downlink_codec)
         comm = (self.network.uplink_seconds(workload.upload_bytes)
-                + self.network.downlink_seconds(workload.download_bytes_per_net * num_nets,
+                + self.network.downlink_seconds(down * num_nets,
                                                 messages=num_nets))
         return LatencyBreakdown("ensembler", client, server, comm)
 
     def ensembler_coalesced(self, workload: SplitWorkload, num_nets: int,
-                            coalesced: int = 1, fused: bool = True) -> LatencyBreakdown:
+                            coalesced: int = 1, fused: bool = True,
+                            downlink_codec="fp32") -> LatencyBreakdown:
         """Amortised *per-request* cost when the serving layer coalesces.
 
         The :class:`~repro.serving.service.InferenceService` merges
@@ -112,9 +133,10 @@ class LatencyModel:
 
             ``server = base * (1 + serial_fraction * (N - 1) / R)``
 
-        Client time and communication are unchanged — every session still
-        frames its own upload and receives its own N responses, which is
-        exactly the per-session byte accounting the service preserves.
+        Client time is unchanged and every session still frames its own
+        upload and receives its own N responses — exactly the per-session
+        byte accounting the service preserves; ``downlink_codec="fp16"``
+        narrows those N response frames as in :meth:`ensembler`.
         ``coalesced=1`` degenerates to :meth:`ensembler`; a looped
         (``fused=False``) server gains nothing from coalescing.
         """
@@ -128,8 +150,10 @@ class LatencyModel:
             server = base * (1.0 + self.serial_fraction * (num_nets - 1) / coalesced)
         else:
             server = base * num_nets
+        down = self.codec_downlink_bytes(workload.download_bytes_per_net,
+                                         downlink_codec)
         comm = (self.network.uplink_seconds(workload.upload_bytes)
-                + self.network.downlink_seconds(workload.download_bytes_per_net * num_nets,
+                + self.network.downlink_seconds(down * num_nets,
                                                 messages=num_nets))
         return LatencyBreakdown(f"ensembler-coalesced-{coalesced}", client, server, comm)
 

@@ -13,17 +13,32 @@ forward, so K waiting requests cost one fused pass instead of K.
 * :mod:`repro.serving.session` — per-client :class:`Session` objects:
   own channel statistics, private selector, optional per-session noise;
 * :mod:`repro.serving.service` — the :class:`InferenceService`: a
-  deterministic tick-based scheduler with bounded-queue backpressure
-  and cross-client batch coalescing.
+  deterministic tick-based front-end with bounded-queue backpressure,
+  per-session codec negotiation and cross-client batch coalescing;
+* :mod:`repro.serving.scheduler` — pluggable admission/grouping policies
+  (:class:`FifoScheduler`, :class:`FairShareScheduler`,
+  :class:`DeadlineScheduler`) the service delegates group formation to;
+* :mod:`repro.serving.simulate` — an event-driven virtual-clock front-end
+  replaying arrival-time traces with deadline-aware tick triggering and
+  reporting p50/p95/p99 latency plus SLO violations.
 
 The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
 """
 
 from repro.serving.protocol import (
+    Codec,
     FeatureResponse,
     ProtocolError,
     UploadRequest,
     WIRE_VERSION,
+)
+from repro.serving.scheduler import (
+    SCHEDULERS,
+    DeadlineScheduler,
+    FairShareScheduler,
+    FifoScheduler,
+    Scheduler,
+    make_scheduler,
 )
 from repro.serving.service import (
     BackpressureError,
@@ -32,15 +47,36 @@ from repro.serving.service import (
     ServingConfig,
 )
 from repro.serving.session import Session
+from repro.serving.simulate import (
+    Arrival,
+    SimulationReport,
+    TickCost,
+    bursty_trace,
+    poisson_trace,
+    simulate,
+)
 
 __all__ = [
+    "Arrival",
     "BackpressureError",
+    "Codec",
+    "DeadlineScheduler",
+    "FairShareScheduler",
     "FeatureResponse",
+    "FifoScheduler",
     "InferenceService",
     "ProtocolError",
+    "SCHEDULERS",
+    "Scheduler",
     "ServiceStats",
     "ServingConfig",
     "Session",
+    "SimulationReport",
+    "TickCost",
     "UploadRequest",
     "WIRE_VERSION",
+    "bursty_trace",
+    "make_scheduler",
+    "poisson_trace",
+    "simulate",
 ]

@@ -24,7 +24,7 @@ a fixed 64-byte little-endian header followed by the raw array bytes::
         28     2  array count of the message
         30     2  dtype code (see _DTYPE_CODES)
         32     2  ndim (1..6)
-        34     2  reserved (zero)
+        34     2  codec (see Codec; 0 = identity fp32 framing)
         36    24  shape, 6 x uint32 (unused dims zero)
         60     4  padding (zero)
 
@@ -32,18 +32,28 @@ The header size deliberately equals the channel's historical
 ``HEADER_BYTES`` framing constant, so ``wire_nbytes()`` — the exact length
 of ``to_bytes()`` — coincides with the accounting every Table-III latency
 calibration already used: ``sum(arr.nbytes + 64)``.
+
+Codec negotiation
+-----------------
+Wire version 2 repurposes the formerly-reserved header field as a
+:class:`Codec` code, negotiated per session at ``open_session``.  The only
+non-identity codec today is :attr:`Codec.FP16`: the server narrows float32
+``FeatureResponse`` payloads — the dominant Table-III downlink term — to
+fp16 on the wire, halving downlink bytes at ~1e-3 absolute feature error.
+Uplink frames always travel at the client's native dtype (codec 0).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import struct
 
 import numpy as np
 
 from repro.ci.channel import HEADER_BYTES
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 _MAGIC = b"ENSB"
 _KIND_UPLOAD = 1
 _KIND_RESPONSE = 2
@@ -51,9 +61,49 @@ _FLAG_RECORD = 1
 _MAX_NDIM = 6
 
 # magic, version, kind, session, request, flags, index, count, dtype, ndim,
-# reserved, shape[6], pad.
+# codec, shape[6], pad.
 _FRAME = struct.Struct("<4s2H2Q6H6I4x")
 assert _FRAME.size == HEADER_BYTES, "frame header must match channel framing"
+
+
+class Codec(enum.IntEnum):
+    """Wire encoding of a message's array payloads, negotiated per session.
+
+    ``FP32`` is the identity codec: arrays travel at their native dtype.
+    ``FP16`` narrows float32 arrays to half precision on the wire — the
+    byte accounting (``wire_nbytes``) charges the narrowed frames exactly.
+    """
+
+    FP32 = 0
+    FP16 = 1
+
+    @classmethod
+    def parse(cls, value: "Codec | int | str | None") -> "Codec":
+        """Coerce a user-facing spec (``'fp16'``, 1, ``Codec.FP16``)."""
+        if value is None:
+            return cls.FP32
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown codec {value!r}; choose from "
+                    f"{[c.name.lower() for c in cls]}") from None
+        return cls(value)
+
+    def narrow(self, arr: np.ndarray) -> np.ndarray:
+        """Encode one array for the wire (fp16 narrows float32 maps)."""
+        if self is Codec.FP16 and arr.dtype == np.float32:
+            return arr.astype(np.float16)
+        return arr
+
+    def widen(self, arr: np.ndarray) -> np.ndarray:
+        """Decode one wire array back to compute dtype (fp16 -> float32)."""
+        if self is Codec.FP16 and arr.dtype == np.float16:
+            return arr.astype(np.float32)
+        return arr
 
 _DTYPE_CODES: dict[np.dtype, int] = {
     np.dtype(np.float32): 0,
@@ -78,7 +128,7 @@ def _frame_nbytes(arrays: list[np.ndarray]) -> int:
 
 
 def _pack(kind: int, session_id: int, request_id: int, flags: int,
-          arrays: list[np.ndarray]) -> bytes:
+          arrays: list[np.ndarray], codec: Codec = Codec.FP32) -> bytes:
     if not arrays:
         raise ProtocolError("a message must carry at least one array")
     chunks = []
@@ -90,23 +140,24 @@ def _pack(kind: int, session_id: int, request_id: int, flags: int,
         shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
         chunks.append(_FRAME.pack(_MAGIC, WIRE_VERSION, kind, session_id,
                                   request_id, flags, index, len(arrays),
-                                  _DTYPE_CODES[arr.dtype], arr.ndim, 0, *shape))
+                                  _DTYPE_CODES[arr.dtype], arr.ndim,
+                                  int(codec), *shape))
         chunks.append(np.ascontiguousarray(arr).tobytes())
     return b"".join(chunks)
 
 
 def _unpack(data: bytes, expected_kind: int
-            ) -> tuple[int, int, int, list[np.ndarray]]:
-    """Parse frames; returns ``(session_id, request_id, flags, arrays)``."""
+            ) -> tuple[int, int, int, Codec, list[np.ndarray]]:
+    """Parse frames; returns ``(session_id, request_id, flags, codec, arrays)``."""
     offset = 0
-    header: tuple[int, int, int] | None = None
+    header: tuple[int, int, int, int] | None = None
     count = None
     arrays: list[np.ndarray] = []
     while offset < len(data):
         if len(data) - offset < _FRAME.size:
             raise ProtocolError("truncated frame header")
         (magic, version, kind, session_id, request_id, flags, index,
-         array_count, dtype_code, ndim, _reserved, *shape6) = _FRAME.unpack_from(
+         array_count, dtype_code, ndim, codec_code, *shape6) = _FRAME.unpack_from(
             data, offset)
         offset += _FRAME.size
         if magic != _MAGIC:
@@ -119,9 +170,13 @@ def _unpack(data: bytes, expected_kind: int
             raise ProtocolError(f"bad ndim {ndim}")
         if dtype_code not in _CODE_DTYPES:
             raise ProtocolError(f"unknown dtype code {dtype_code}")
+        try:
+            codec = Codec(codec_code)
+        except ValueError:
+            raise ProtocolError(f"unknown codec code {codec_code}") from None
         if header is None:
-            header, count = (session_id, request_id, flags), array_count
-        elif header != (session_id, request_id, flags) or count != array_count:
+            header, count = (session_id, request_id, flags, codec_code), array_count
+        elif header != (session_id, request_id, flags, codec_code) or count != array_count:
             raise ProtocolError("inconsistent frame headers within one message")
         if index != len(arrays):
             raise ProtocolError(f"out-of-order frame index {index}")
@@ -138,7 +193,8 @@ def _unpack(data: bytes, expected_kind: int
         raise ProtocolError("empty message")
     if len(arrays) != count:
         raise ProtocolError(f"expected {count} arrays, got {len(arrays)}")
-    return (*header, arrays)
+    session_id, request_id, flags, codec_code = header
+    return (session_id, request_id, flags, Codec(codec_code), arrays)
 
 
 @dataclasses.dataclass
@@ -147,12 +203,21 @@ class UploadRequest:
 
     ``record`` mirrors the pipelines' attack-capture flag: a semi-honest
     server may retain the uploaded features for its inversion decoder.
+
+    ``arrival_time`` and ``deadline`` are *scheduling metadata*, not wire
+    fields: the service stamps ``arrival_time`` from its virtual clock at
+    admission, and a deadline-aware scheduler reads ``deadline`` (an
+    absolute clock value) to order and group requests.  ``from_bytes``
+    leaves both unset — timestamps belong to the receiving scheduler, not
+    the sender.
     """
 
     session_id: int
     request_id: int
     features: np.ndarray
     record: bool = False
+    arrival_time: float | None = None
+    deadline: float | None = None
 
     @property
     def batch_size(self) -> int:
@@ -174,7 +239,7 @@ class UploadRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UploadRequest":
-        session_id, request_id, flags, arrays = _unpack(data, _KIND_UPLOAD)
+        session_id, request_id, flags, _codec, arrays = _unpack(data, _KIND_UPLOAD)
         if len(arrays) != 1:
             raise ProtocolError(f"upload carries one tensor, got {len(arrays)}")
         return cls(session_id, request_id, arrays[0],
@@ -188,11 +253,30 @@ class FeatureResponse:
     Every client always receives all N maps — which P of them the tail
     consumes is decided by the session's private selector and never
     crosses the wire.
+
+    ``outputs`` holds the *wire-form* arrays: under a non-identity codec
+    they are already narrowed (fp16), so ``wire_nbytes`` charges exactly
+    what ``to_bytes`` frames.  Build narrowed responses with
+    :meth:`encode` and read compute-dtype maps back with :meth:`decoded`.
     """
 
     session_id: int
     request_id: int
     outputs: list[np.ndarray]
+    codec: Codec = Codec.FP32
+
+    @classmethod
+    def encode(cls, session_id: int, request_id: int,
+               outputs: list[np.ndarray],
+               codec: "Codec | int | str | None" = Codec.FP32) -> "FeatureResponse":
+        """Apply the session's negotiated codec to fresh server outputs."""
+        codec = Codec.parse(codec)
+        return cls(session_id, request_id,
+                   [codec.narrow(arr) for arr in outputs], codec)
+
+    def decoded(self) -> list[np.ndarray]:
+        """The client-side view: fp16 wire maps widened back to float32."""
+        return [self.codec.widen(arr) for arr in self.outputs]
 
     @property
     def num_nets(self) -> int:
@@ -204,9 +288,9 @@ class FeatureResponse:
 
     def to_bytes(self) -> bytes:
         return _pack(_KIND_RESPONSE, self.session_id, self.request_id, 0,
-                     list(self.outputs))
+                     list(self.outputs), codec=self.codec)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FeatureResponse":
-        session_id, request_id, _flags, arrays = _unpack(data, _KIND_RESPONSE)
-        return cls(session_id, request_id, arrays)
+        session_id, request_id, _flags, codec, arrays = _unpack(data, _KIND_RESPONSE)
+        return cls(session_id, request_id, arrays, codec)

@@ -1,0 +1,333 @@
+"""Pluggable admission/grouping policies for the :class:`InferenceService`.
+
+PR 3's service hard-coded one scheduling policy: drain-the-queue FIFO with
+a fixed ``max_batch`` request count per tick.  This module turns that
+policy into a :class:`Scheduler` abstraction the service delegates to —
+the scheduler owns the queued :class:`~repro.serving.protocol.UploadRequest`
+objects and decides, per tick, which coalescible group runs as the next
+stacked N-body pass.  Three built-ins cover the policy space the ROADMAP
+names:
+
+* :class:`FifoScheduler` — bit-exact with the PR-3 behaviour: the longest
+  queue prefix (≤ ``max_batch``) whose per-sample feature shapes agree.
+  Deterministic, never reorders, but one chatty tenant can monopolise a
+  tick (and, ensemble-inversion-wise, shape every batch the semi-honest
+  server observes).
+* :class:`FairShareScheduler` — per-session round-robin queues: each tick
+  elects a leader session (rotating), then fills the group one request
+  per session per cycle, so K waiting tenants each land ~1/K of every
+  stacked pass regardless of how fast one of them submits.
+* :class:`DeadlineScheduler` — earliest-deadline-first with *adaptive*
+  group formation: requests carry ``arrival_time``/``deadline``, and a
+  group grows by payload size under a latency budget (estimated pass cost
+  must fit the earliest deadline's slack) instead of a fixed request
+  count.  :meth:`Scheduler.next_event_time` tells an event-driven
+  front-end (:mod:`repro.serving.simulate`) the latest safe moment to
+  trigger the tick, so batches accumulate while slack allows.
+
+All schedulers preserve the coalescing invariant: a group shares one
+``coalesce_key`` (per-sample shape + dtype), so the service can stack it
+along the batch axis into one fused pass.
+"""
+
+from __future__ import annotations
+
+import bisect
+import collections
+import math
+
+from repro.serving.protocol import UploadRequest
+
+
+#: registry of scheduler policies by name.  Subclassing :class:`Scheduler`
+#: with a fresh ``name`` auto-registers it, so custom policies work both by
+#: instance (``InferenceService(..., scheduler=Mine())``) and — when the
+#: constructor takes no required arguments — by name.  Builtin names are
+#: never overridden.
+SCHEDULERS: dict[str, type["Scheduler"]] = {}
+
+
+class Scheduler:
+    """Admission + group-formation policy behind an ``InferenceService``.
+
+    The service calls :meth:`enqueue` at admission (after backpressure and
+    byte accounting), :meth:`next_group` at each tick, and
+    :meth:`cancel_session` when a tenant closes.  Subclasses own their
+    queue structure; the service only observes ``pending``.
+    """
+
+    #: registry key; subclasses override.
+    name = "abstract"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.name != Scheduler.name and cls.name not in SCHEDULERS:
+            SCHEDULERS[cls.name] = cls
+
+    @property
+    def pending(self) -> int:
+        """Queued requests not yet handed out by :meth:`next_group`."""
+        raise NotImplementedError
+
+    def enqueue(self, request: UploadRequest) -> None:
+        raise NotImplementedError
+
+    def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
+        """Pop the next coalescible group (possibly empty)."""
+        raise NotImplementedError
+
+    def cancel_session(self, session_id: int) -> int:
+        """Drop a closed tenant's queued requests; returns how many."""
+        raise NotImplementedError
+
+    def next_event_time(self, now: float) -> float:
+        """Earliest moment a tick *should* fire, given the queue.
+
+        The default is ``now`` — serve whenever the server is free (the
+        drain-the-queue policy).  Deadline-aware schedulers return a later
+        time to let a group accumulate while every queued SLO still fits.
+        Returns ``math.inf`` when nothing is pending.
+        """
+        return now if self.pending else math.inf
+
+
+class FifoScheduler(Scheduler):
+    """Strict arrival order, fixed ``max_batch`` cap — the PR-3 policy.
+
+    A group is the longest FIFO prefix with one coalesce key; requests
+    are never reordered, so response order, record-capture order and
+    per-session byte accounting are identical to serving the queue one
+    request at a time.
+    """
+
+    name = "fifo"
+
+    def __init__(self):
+        self._queue: collections.deque[UploadRequest] = collections.deque()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, request: UploadRequest) -> None:
+        self._queue.append(request)
+
+    def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
+        if not self._queue:
+            return []
+        group = [self._queue.popleft()]
+        key = group[0].coalesce_key
+        while self._queue and len(group) < max_batch:
+            if self._queue[0].coalesce_key != key:
+                break
+            group.append(self._queue.popleft())
+        return group
+
+    def cancel_session(self, session_id: int) -> int:
+        kept = [r for r in self._queue if r.session_id != session_id]
+        cancelled = len(self._queue) - len(kept)
+        self._queue = collections.deque(kept)
+        return cancelled
+
+
+class FairShareScheduler(Scheduler):
+    """Per-session round-robin: no tenant can monopolise a stacked pass.
+
+    Each session gets its own FIFO queue.  A tick elects a leader (the
+    next session in rotation with work), then fills the group round-robin
+    — one request per session per cycle, skipping sessions whose head
+    request cannot coalesce with the leader's key — until ``max_batch``.
+    Within a session, order is still FIFO, so per-session response order
+    and byte accounting match the FIFO scheduler; only the interleaving
+    *across* sessions changes.  Fairness is privacy-relevant under
+    ensemble inversion: a tenant that can flood the queue can otherwise
+    dictate the batches a semi-honest server observes.
+    """
+
+    name = "fair"
+
+    def __init__(self):
+        self._queues: dict[int, collections.deque[UploadRequest]] = {}
+        self._rotation: collections.deque[int] = collections.deque()
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def enqueue(self, request: UploadRequest) -> None:
+        if request.session_id not in self._queues:
+            self._queues[request.session_id] = collections.deque()
+            self._rotation.append(request.session_id)
+        self._queues[request.session_id].append(request)
+
+    def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
+        # Rotate to the next session with work; it leads this tick.
+        for _ in range(len(self._rotation)):
+            if self._queues[self._rotation[0]]:
+                break
+            self._rotation.rotate(-1)
+        else:
+            return []
+        leader = self._rotation[0]
+        group = [self._queues[leader].popleft()]
+        key = group[0].coalesce_key
+        self._rotation.rotate(-1)  # the leader goes to the back of the rotation
+        # Fill one-request-per-session cycles (the leader rejoins at the
+        # end of each cycle) until the cap or until a cycle adds nothing.
+        progressed = True
+        while len(group) < max_batch and progressed:
+            progressed = False
+            for session_id in tuple(self._rotation):
+                if len(group) >= max_batch:
+                    break
+                queue = self._queues[session_id]
+                if queue and queue[0].coalesce_key == key:
+                    group.append(queue.popleft())
+                    progressed = True
+        return group
+
+    def cancel_session(self, session_id: int) -> int:
+        queue = self._queues.pop(session_id, None)
+        if queue is None:
+            return 0
+        try:
+            self._rotation.remove(session_id)
+        except ValueError:
+            pass
+        return len(queue)
+
+
+class DeadlineScheduler(Scheduler):
+    """Earliest-deadline-first with latency-budgeted adaptive batching.
+
+    Requests queue in deadline order (ties by arrival).  A group starts
+    from the earliest-deadline request and grows — still in deadline
+    order, matching coalesce keys only — while the *estimated* pass cost
+    ``pass_overhead_s + samples * sample_cost_s`` keeps fitting the
+    leader's remaining slack, the payload stays under ``max_group_bytes``
+    and the sample count under ``max_group_samples``.  The fixed
+    ``max_batch`` request count is deliberately ignored: group size is a
+    function of payload and tail-latency target, which is what lets a
+    burst collapse into one or two wide passes instead of many
+    fixed-width ones.
+
+    Requests without an explicit ``deadline`` get the implicit SLO
+    ``arrival_time + target_latency_s`` (or no deadline when the target
+    is ``None``).  :meth:`next_event_time` returns the latest safe tick
+    start — ``earliest deadline - estimated pass cost`` — so an
+    event-driven front-end can idle until either the batch budget fills
+    or slack runs out.
+    """
+
+    name = "deadline"
+
+    def __init__(self, *, pass_overhead_s: float = 0.0,
+                 sample_cost_s: float = 0.0,
+                 target_latency_s: float | None = None,
+                 max_group_samples: int = 64,
+                 max_group_bytes: int | None = None):
+        if pass_overhead_s < 0 or sample_cost_s < 0:
+            raise ValueError("cost estimates must be non-negative")
+        if max_group_samples < 1:
+            raise ValueError("max_group_samples must be >= 1")
+        self.pass_overhead_s = pass_overhead_s
+        self.sample_cost_s = sample_cost_s
+        self.target_latency_s = target_latency_s
+        self.max_group_samples = max_group_samples
+        self.max_group_bytes = max_group_bytes
+        self._items: list[tuple[float, int, UploadRequest]] = []  # sorted
+        self._seq = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._items)
+
+    def _effective_deadline(self, request: UploadRequest) -> float:
+        if request.deadline is not None:
+            return request.deadline
+        if self.target_latency_s is not None:
+            return (request.arrival_time or 0.0) + self.target_latency_s
+        return math.inf
+
+    def enqueue(self, request: UploadRequest) -> None:
+        bisect.insort(self._items, (self._effective_deadline(request),
+                                    self._seq, request))
+        self._seq += 1
+
+    def _estimate_pass_s(self, samples: int) -> float:
+        return self.pass_overhead_s + samples * self.sample_cost_s
+
+    def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
+        if not self._items:
+            return []
+        leader_deadline, _, leader = self._items.pop(0)
+        group = [leader]
+        key = leader.coalesce_key
+        samples = leader.batch_size
+        nbytes = leader.wire_nbytes()
+        slack = leader_deadline - now  # inf for SLO-less leaders
+        index = 0
+        while index < len(self._items) and samples < self.max_group_samples:
+            _, _, candidate = self._items[index]
+            if candidate.coalesce_key != key:
+                index += 1  # leave for a later tick; EDF order is preserved
+                continue
+            new_samples = samples + candidate.batch_size
+            if new_samples > self.max_group_samples:
+                break
+            if (self.max_group_bytes is not None
+                    and nbytes + candidate.wire_nbytes() > self.max_group_bytes):
+                break
+            if math.isfinite(slack) and self._estimate_pass_s(new_samples) > slack:
+                break  # growing further would blow the earliest deadline
+            self._items.pop(index)
+            group.append(candidate)
+            samples = new_samples
+            nbytes += candidate.wire_nbytes()
+        return group
+
+    def next_event_time(self, now: float) -> float:
+        if not self._items:
+            return math.inf
+        earliest, _, leader = self._items[0]
+        if not math.isfinite(earliest):
+            return now
+        # How big could the group get if we served right now?
+        key = leader.coalesce_key
+        samples = 0
+        for _, _, request in self._items:
+            if request.coalesce_key != key:
+                continue
+            if samples + request.batch_size > self.max_group_samples:
+                return now  # batch budget already full: no reason to wait
+            samples += request.batch_size
+        if samples >= self.max_group_samples:
+            return now
+        latest_safe_start = earliest - self._estimate_pass_s(samples)
+        return max(now, latest_safe_start)
+
+    def cancel_session(self, session_id: int) -> int:
+        kept = [item for item in self._items
+                if item[2].session_id != session_id]
+        cancelled = len(self._items) - len(kept)
+        self._items = kept
+        return cancelled
+
+
+SCHEDULERS["fair-share"] = FairShareScheduler  # ergonomic alias
+
+
+def make_scheduler(spec: "str | Scheduler", **kwargs) -> Scheduler:
+    """Resolve a scheduler spec: an instance passes through, a registry
+    name constructs one (``kwargs`` forwarded to the constructor)."""
+    if isinstance(spec, Scheduler):
+        if kwargs:
+            raise ValueError("kwargs only apply when constructing by name")
+        return spec
+    try:
+        cls = SCHEDULERS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {spec!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -6,38 +6,52 @@ fused :class:`~repro.nn.batched.StackedBodies` engine makes the marginal
 cost of extra samples in one stacked pass near-linear, while every extra
 *pass* pays fixed interpreter/im2col dispatch overhead.  The
 :class:`InferenceService` therefore queues concurrent client uploads and,
-on each deterministic ``tick()``, coalesces up to ``max_batch`` of them
-along the batch axis into **one** stacked forward over all N bodies, then
-splits the N feature maps back out per request and routes each response
-through its session's own channel.
+on each deterministic ``tick()``, coalesces a group of them along the
+batch axis into **one** stacked forward over all N bodies, then splits
+the N feature maps back out per request and routes each response through
+its session's own channel.
 
-Determinism and equivalence
----------------------------
-Scheduling is strict FIFO: a tick takes the longest queue prefix (capped
-at ``max_batch``) whose requests share a per-sample feature shape/dtype
-— requests are never reordered, so byte accounting, record order and
-outputs are reproducible.  Because every op in the body stack is
-per-sample along the batch axis in eval mode, the coalesced pass is
-output-equivalent (≤1e-5) to serving each request alone.
+Scheduling
+----------
+*Which* queued requests form a tick's group is delegated to a pluggable
+:class:`~repro.serving.scheduler.Scheduler` (``scheduler="fifo"`` by
+default — bit-exact with the historical drain-the-queue behaviour;
+``"fair"`` round-robins across sessions; ``"deadline"`` forms groups
+adaptively by payload size and SLO slack).  Whatever the policy, a group
+always shares one per-sample feature shape/dtype, so byte accounting,
+record order and outputs stay reproducible per session.  The service
+carries a virtual clock (``now`` / :meth:`advance_clock`) that stamps
+``arrival_time`` on admission; the event-driven front-end in
+:mod:`repro.serving.simulate` drives it from an arrival-time trace.
+
+Codecs
+------
+Each session negotiates a downlink :class:`~repro.serving.protocol.Codec`
+at ``open_session`` (default from :class:`ServingConfig`): ``"fp16"``
+narrows the N returned feature maps to half precision on the wire,
+halving the dominant Table-III downlink term; channels account the
+narrowed frames exactly.
 
 Backpressure
 ------------
 The queue is bounded (``max_queue``): ``submit`` on a full queue raises
 :class:`BackpressureError` *before* any bytes are accounted — admission
 control happens ahead of transmission — and bumps the service's
-``rejected_requests`` counter so load shedding is observable.
+``rejected_requests`` counter so load shedding is observable.  Closing a
+session cancels its queued (already-transmitted) requests and counts them
+in ``cancelled_requests``.
 """
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 
 import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client, Server
-from repro.serving.protocol import FeatureResponse, UploadRequest
+from repro.serving.protocol import Codec, FeatureResponse, UploadRequest
+from repro.serving.scheduler import SCHEDULERS, Scheduler, make_scheduler
 from repro.serving.session import Session
 
 
@@ -51,12 +65,18 @@ class ServingConfig:
 
     max_batch: int = 8   # requests coalesced into one stacked pass
     max_queue: int = 64  # bounded-queue backpressure threshold
+    scheduler: str = "fifo"  # admission/grouping policy (see serving.scheduler)
+    codec: str = "fp32"  # default downlink codec sessions negotiate
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler '{self.scheduler}'; choose "
+                             f"from {sorted(SCHEDULERS)}")
+        Codec.parse(self.codec)  # raises on unknown codec names
 
 
 @dataclasses.dataclass
@@ -67,6 +87,7 @@ class ServiceStats:
     served_requests: int = 0
     served_samples: int = 0
     rejected_requests: int = 0
+    cancelled_requests: int = 0  # queued work shed by close_session
     peak_coalesced: int = 0
 
     @property
@@ -82,16 +103,25 @@ class InferenceService:
     plain body list (wrapped with the default batched backend).  The
     service never sees a selector or a noise map: it forwards uploaded
     features through all N bodies and returns all N maps, per session.
+
+    ``scheduler`` accepts a registry name (``"fifo"``, ``"fair"``,
+    ``"deadline"``) or a pre-built :class:`Scheduler` instance for
+    policies that need constructor arguments.
     """
 
     def __init__(self, server: Server | list, max_batch: int = 8,
-                 max_queue: int = 64):
+                 max_queue: int = 64,
+                 scheduler: str | Scheduler = "fifo",
+                 codec: Codec | int | str = Codec.FP32):
         if not isinstance(server, Server):
             server = Server(list(server))
-        self.config = ServingConfig(max_batch=max_batch, max_queue=max_queue)
+        self.scheduler = make_scheduler(scheduler)
+        self.config = ServingConfig(max_batch=max_batch, max_queue=max_queue,
+                                    scheduler=self.scheduler.name,
+                                    codec=Codec.parse(codec).name.lower())
         self.server = server
         self.stats = ServiceStats()
-        self._queue: collections.deque[UploadRequest] = collections.deque()
+        self.now = 0.0  # virtual clock; advanced by event-driven front-ends
         self._sessions: dict[int, Session] = {}
         self._next_session_id = 1
         # Traffic already accounted by sessions that have since closed —
@@ -101,7 +131,9 @@ class InferenceService:
     @classmethod
     def from_config(cls, server: Server | list,
                     config: ServingConfig) -> "InferenceService":
-        return cls(server, max_batch=config.max_batch, max_queue=config.max_queue)
+        return cls(server, max_batch=config.max_batch,
+                   max_queue=config.max_queue, scheduler=config.scheduler,
+                   codec=config.codec)
 
     # -- session management ---------------------------------------------
 
@@ -116,18 +148,21 @@ class InferenceService:
     @property
     def pending(self) -> int:
         """Queued requests not yet served."""
-        return len(self._queue)
+        return self.scheduler.pending
 
     def open_session(self, head, tail, *, selector=None, noise=None,
                      noise_seed: int | None = None,
                      noise_shape: tuple[int, ...] | None = None,
                      noise_sigma: float = 0.1,
-                     channel: Channel | None = None) -> Session:
+                     channel: Channel | None = None,
+                     codec: Codec | int | str | None = None) -> Session:
         """Register a new tenant from its client-side parts.
 
         ``noise_seed`` (with ``noise_shape``) draws this session its own
         fixed Gaussian map — per-tenant noise without sharing RNG state —
-        unless an explicit ``noise`` module is given.
+        unless an explicit ``noise`` module is given.  ``codec`` negotiates
+        this session's downlink encoding (defaults to the service-wide
+        :attr:`ServingConfig.codec`).
         """
         if noise is None and noise_seed is not None:
             from repro.core.noise import FixedGaussianNoise
@@ -137,24 +172,33 @@ class InferenceService:
             noise = FixedGaussianNoise(noise_shape, noise_sigma,
                                        rng=new_rng(noise_seed))
         client = Client(head, tail, noise=noise, selector=selector)
-        return self.adopt_session(client, channel=channel)
+        return self.adopt_session(client, channel=channel, codec=codec)
 
-    def adopt_session(self, client: Client,
-                      channel: Channel | None = None) -> Session:
+    def adopt_session(self, client: Client, channel: Channel | None = None,
+                      codec: Codec | int | str | None = None) -> Session:
         """Register an already-built :class:`Client` as a tenant."""
-        session = Session(self._next_session_id, client, self, channel=channel)
+        codec = Codec.parse(self.config.codec if codec is None else codec)
+        session = Session(self._next_session_id, client, self, channel=channel,
+                          codec=codec)
         self._sessions[session.session_id] = session
         self._next_session_id += 1
         return session
 
     def close_session(self, session: Session) -> None:
-        """Drop a tenant; its queued requests are discarded, its
-        already-accounted traffic is retained in the service totals."""
+        """Drop a tenant; its queued requests are cancelled (counted in
+        ``stats.cancelled_requests``), its already-accounted traffic is
+        retained in the service totals."""
         closed = self._sessions.pop(session.session_id, None)
         if closed is not None:
             self._closed_transfer.merge(closed.stats)
-        self._queue = collections.deque(
-            r for r in self._queue if r.session_id != session.session_id)
+        self.stats.cancelled_requests += self.scheduler.cancel_session(
+            session.session_id)
+
+    # -- clock ----------------------------------------------------------
+
+    def advance_clock(self, now: float) -> None:
+        """Move the virtual clock forward (monotonic; never rewinds)."""
+        self.now = max(self.now, float(now))
 
     # -- request path ---------------------------------------------------
 
@@ -162,39 +206,38 @@ class InferenceService:
         """Enqueue one upload; accounts its framed bytes on the session.
 
         Raises :class:`BackpressureError` when the bounded queue is full
-        (nothing is transmitted or accounted in that case).
+        (nothing is transmitted or accounted in that case).  Stamps the
+        request's ``arrival_time`` from the service clock if unset.
         """
         try:
             session = self._sessions[request.session_id]
         except KeyError:
             raise KeyError(f"unknown session id {request.session_id}") from None
-        if len(self._queue) >= self.config.max_queue:
+        if self.scheduler.pending >= self.config.max_queue:
             self.stats.rejected_requests += 1
             raise BackpressureError(
                 f"service queue full ({self.config.max_queue} pending); "
                 f"retry after a tick")
+        if request.arrival_time is None:
+            request.arrival_time = self.now
         session.channel.send_up(request)
-        self._queue.append(request)
+        self.scheduler.enqueue(request)
         return request.request_id
 
     def tick(self) -> list[FeatureResponse]:
         """One deterministic scheduler step: serve the next coalesced group.
 
-        Takes the longest FIFO prefix of the queue (≤ ``max_batch``
-        requests) whose per-sample feature shapes agree, runs **one**
-        forward over all N bodies, splits the stacked outputs back per
-        request and delivers each response over its session's channel.
+        The scheduler picks a group of queued requests sharing one
+        per-sample feature shape; the service runs **one** forward over
+        all N bodies, splits the stacked outputs back per request and
+        delivers each response (through its session's negotiated codec)
+        over the session's channel.
         """
-        if not self._queue:
+        group = self.scheduler.next_group(self.config.max_batch, now=self.now)
+        if not group:
             return []
-        group = [self._queue.popleft()]
-        key = group[0].coalesce_key
-        while self._queue and len(group) < self.config.max_batch:
-            if self._queue[0].coalesce_key != key:
-                break
-            group.append(self._queue.popleft())
 
-        # Per-request attack capture, in FIFO order: identical to what K
+        # Per-request attack capture, in service order: identical to what K
         # sequential pipeline.infer(record=True) calls would retain.
         for request in group:
             if request.record:
@@ -214,9 +257,11 @@ class InferenceService:
             outs = [np.ascontiguousarray(out[offset:offset + n])
                     for out in outputs]
             offset += n
-            response = FeatureResponse(request.session_id, request.request_id,
-                                       outs)
             session = self._sessions.get(request.session_id)
+            codec = session.codec if session is not None else Codec.FP32
+            response = FeatureResponse.encode(request.session_id,
+                                              request.request_id, outs,
+                                              codec=codec)
             if session is not None:  # session may have closed mid-flight
                 session.channel.send_down(response)
                 session._deliver(response)
@@ -231,7 +276,7 @@ class InferenceService:
     def run_until_idle(self, max_ticks: int = 100_000) -> int:
         """Tick until the queue drains; returns the number of ticks run."""
         ticks = 0
-        while self._queue:
+        while self.scheduler.pending:
             if ticks >= max_ticks:
                 raise RuntimeError(f"queue did not drain in {max_ticks} ticks")
             self.tick()

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client
-from repro.serving.protocol import FeatureResponse, UploadRequest
+from repro.serving.protocol import Codec, FeatureResponse, UploadRequest
 
 
 class Session:
@@ -25,13 +25,20 @@ class Session:
     head/tail/noise/selector parts) or :meth:`InferenceService.adopt_session`
     (from an existing :class:`~repro.ci.pipeline.Client`); they should not
     be constructed directly.
+
+    ``codec`` is the downlink encoding negotiated at open time: the
+    service narrows this session's :class:`FeatureResponse` payloads with
+    it, and :meth:`result` widens them back before the private selector
+    and tail run.
     """
 
     def __init__(self, session_id: int, client: Client, service,
-                 channel: Channel | None = None):
+                 channel: Channel | None = None,
+                 codec: Codec = Codec.FP32):
         self.session_id = session_id
         self.client = client
         self.channel = channel if channel is not None else Channel()
+        self.codec = Codec.parse(codec)
         self._service = service
         self._next_request_id = 0
         self._responses: dict[int, FeatureResponse] = {}
@@ -60,19 +67,25 @@ class Session:
         """The features this client would upload: ``M_c,h(x) + noise``."""
         return self.client.encode(images)
 
-    def submit(self, images: np.ndarray, record: bool = False) -> int:
+    def submit(self, images: np.ndarray, record: bool = False,
+               deadline: float | None = None) -> int:
         """Encode ``images`` client-side and enqueue the upload.
 
         Returns the request id to :meth:`result` on later.  Raises
         :class:`~repro.serving.service.BackpressureError` (without
         transmitting anything) when the service queue is full.
+        ``deadline`` is an absolute service-clock SLO consumed by
+        deadline-aware schedulers.
         """
-        return self.submit_features(self.encode(images), record=record)
+        return self.submit_features(self.encode(images), record=record,
+                                    deadline=deadline)
 
-    def submit_features(self, features: np.ndarray, record: bool = False) -> int:
+    def submit_features(self, features: np.ndarray, record: bool = False,
+                        deadline: float | None = None) -> int:
         """Enqueue pre-encoded features (the raw protocol-level entry)."""
         request = UploadRequest(self.session_id, self._next_request_id,
-                                np.asarray(features), record=record)
+                                np.asarray(features), record=record,
+                                deadline=deadline)
         self._next_request_id += 1
         self._service.submit(request)
         self._pending.add(request.request_id)
@@ -87,6 +100,21 @@ class Session:
 
     def has_result(self, request_id: int) -> bool:
         return request_id in self._responses
+
+    def take_response(self, request_id: int) -> FeatureResponse | None:
+        """Pop a served request's raw wire response without decoding it.
+
+        For drivers (benchmarks, simulators) that inspect or discard the
+        N feature maps themselves instead of running the tail via
+        :meth:`result`.  Returns ``None`` when nothing is stored.
+        """
+        return self._responses.pop(request_id, None)
+
+    def discard_results(self) -> int:
+        """Drop every stored response; returns how many were discarded."""
+        count = len(self._responses)
+        self._responses.clear()
+        return count
 
     def result(self, request_id: int) -> np.ndarray:
         """Decode a served request: private selection + tail -> logits.
@@ -105,10 +133,11 @@ class Session:
                 f"request {request_id} of session {self.session_id} was "
                 f"already consumed (results pop on read) or never submitted"
             ) from None
+        outputs = response.decoded()  # widen codec-narrowed maps to fp32
         if self.client._selector is None:
             # Selector-less (standard-CI) clients consume the single body's map.
-            return self.client.decide(response.outputs[0])
-        return self.client.decide(list(response.outputs))
+            return self.client.decide(outputs[0])
+        return self.client.decide(outputs)
 
     def infer(self, images: np.ndarray, record: bool = False) -> np.ndarray:
         """Single-tenant convenience: submit, drain the service, decode."""

@@ -1,0 +1,246 @@
+"""Event-driven simulation front-end for the multi-tenant serving layer.
+
+``run_until_idle`` answers "what does this request stream *compute*";
+this module answers "what does it *feel like*": a virtual-clock event
+loop replays an arrival-time trace through a real
+:class:`~repro.serving.service.InferenceService` (real scheduler, real
+stacked passes, real byte accounting) while charging virtual time from a
+cost model, and reports p50/p95/p99 latency plus SLO violations.
+
+Tick triggering is **deadline-aware** rather than drain-the-queue: the
+next tick fires at ``max(server_free_at, scheduler.next_event_time(t))``,
+so a :class:`~repro.serving.scheduler.DeadlineScheduler` can hold the
+server idle for a few (virtual) milliseconds to let a burst coalesce into
+one wide pass, while a FIFO scheduler (whose ``next_event_time`` is
+"now") serves eagerly whenever the server is free — exactly the policy
+difference the Table-III latency story turns on.
+
+Costs come from a :class:`TickCost` — either explicit constants or
+derived from the calibrated :class:`~repro.latency.model.LatencyModel`
+via :meth:`TickCost.from_latency_model`, including the codec-narrowed
+downlink bytes of fp16 sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.serving.service import BackpressureError, InferenceService
+
+
+@dataclasses.dataclass(frozen=True)
+class Arrival:
+    """One trace event: a session submits a request at a virtual time.
+
+    ``deadline_s`` is the request's SLO *budget* relative to its arrival
+    (absolute deadline = ``time + deadline_s``); ``None`` means no SLO.
+    ``features`` overrides the simulation-wide default payload.
+    """
+
+    time: float
+    session_index: int
+    deadline_s: float | None = None
+    features: np.ndarray | None = None
+    record: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class TickCost:
+    """Virtual seconds one coalesced tick occupies the server.
+
+    ``pass_overhead_s`` is paid once per stacked pass (kernel dispatch,
+    the Amdahl serial term); ``per_sample_s`` scales with the samples in
+    the group; ``per_request_downlink_s`` is added per response after the
+    pass completes (each session still receives its own N feature maps).
+    """
+
+    pass_overhead_s: float = 0.0
+    per_sample_s: float = 0.0
+    per_request_downlink_s: float = 0.0
+
+    def pass_seconds(self, num_samples: int) -> float:
+        return self.pass_overhead_s + num_samples * self.per_sample_s
+
+    @classmethod
+    def from_latency_model(cls, model, workload, num_nets: int,
+                           codec="fp32") -> "TickCost":
+        """Derive per-tick costs from the calibrated Table-III model.
+
+        The per-sample server time comes from the workload's body FLOPs;
+        the per-pass overhead is the fused engine's Amdahl serial term
+        (paid once per pass, which is what coalescing amortises); the
+        per-request downlink charges the N codec-narrowed feature maps.
+        """
+        per_sample = model.server.seconds(
+            workload.server_body_flops / workload.batch_size)
+        overhead = per_sample * model.serial_fraction * (num_nets - 1)
+        downlink = model.network.downlink_seconds(
+            model.codec_downlink_bytes(workload.download_bytes_per_net, codec)
+            * num_nets, messages=num_nets)
+        return cls(pass_overhead_s=overhead, per_sample_s=per_sample,
+                   per_request_downlink_s=downlink)
+
+
+@dataclasses.dataclass
+class SimulationReport:
+    """What an arrival trace experienced end to end."""
+
+    scheduler: str
+    latencies_s: list[float]
+    violations: int  # served, but past their deadline
+    rejected: int    # shed by backpressure at admission
+    ticks: int
+    makespan_s: float
+
+    @property
+    def served(self) -> int:
+        return len(self.latencies_s)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def violation_rate(self) -> float:
+        total = self.served + self.rejected
+        return (self.violations + self.rejected) / total if total else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.scheduler}: {self.served} served in {self.ticks} ticks "
+                f"over {self.makespan_s * 1e3:.1f} ms — p50 {self.p50_s * 1e3:.1f} / "
+                f"p95 {self.p95_s * 1e3:.1f} / p99 {self.p99_s * 1e3:.1f} ms, "
+                f"{self.violations} SLO violations, {self.rejected} rejected")
+
+
+def simulate(service: InferenceService, sessions, trace, cost: TickCost,
+             default_features: np.ndarray | None = None) -> SimulationReport:
+    """Replay ``trace`` through ``service`` on a virtual clock.
+
+    ``sessions`` is an indexable of open :class:`Session` objects
+    (``Arrival.session_index`` selects one).  Every arrival really
+    submits (framed bytes, backpressure, scheduler admission); every tick
+    really runs the stacked pass; only *time* is virtual, charged from
+    ``cost``.  Responses are consumed as they complete so long traces
+    stay memory-bounded.
+
+    Trace times are *relative*: they are rebased onto the service's
+    current (monotonic, never-rewinding) clock, so repeated ``simulate``
+    calls against one service are well-defined — each replay starts at
+    the service's "now", and reported latencies/makespan are unaffected.
+    """
+    arrivals = sorted(trace, key=lambda a: a.time)
+    session_by_id = {s.session_id: s for s in sessions}
+    meta: dict[tuple[int, int], tuple[float, float | None]] = {}
+    latencies: list[float] = []
+    violations = rejected = ticks = 0
+    base = service.now  # rebase the trace's epoch; advance_clock never rewinds
+    server_free_at = base
+    makespan = base
+    clock = base
+    index = 0
+
+    while index < len(arrivals) or service.pending:
+        next_arrival = (base + arrivals[index].time if index < len(arrivals)
+                        else math.inf)
+        if service.pending:
+            earliest = max(clock, server_free_at)
+            tick_at = max(earliest, service.scheduler.next_event_time(earliest))
+        else:
+            tick_at = math.inf
+
+        if next_arrival <= tick_at:
+            arrival = arrivals[index]
+            index += 1
+            clock = base + arrival.time
+            service.advance_clock(clock)
+            session = sessions[arrival.session_index]
+            features = (arrival.features if arrival.features is not None
+                        else default_features)
+            if features is None:
+                raise ValueError("arrival carries no features and no "
+                                 "default_features was given")
+            deadline = (clock + arrival.deadline_s
+                        if arrival.deadline_s is not None else None)
+            try:
+                request_id = session.submit_features(features,
+                                                     record=arrival.record,
+                                                     deadline=deadline)
+            except BackpressureError:
+                rejected += 1
+                continue
+            meta[(session.session_id, request_id)] = (clock, deadline)
+            continue
+
+        clock = tick_at
+        service.advance_clock(clock)
+        responses = service.tick()
+        if not responses:  # defensive: scheduler declined to form a group
+            break
+        ticks += 1
+        group_samples = sum(r.outputs[0].shape[0] for r in responses)
+        pass_done = clock + cost.pass_seconds(group_samples)
+        server_free_at = pass_done
+        for response in responses:
+            done = pass_done + cost.per_request_downlink_s
+            makespan = max(makespan, done)
+            key = (response.session_id, response.request_id)
+            arrived, deadline = meta.pop(key, (clock, None))
+            latencies.append(done - arrived)
+            if deadline is not None and done > deadline:
+                violations += 1
+            session = session_by_id.get(response.session_id)
+            if session is not None:  # consume so memory stays bounded
+                session.take_response(response.request_id)
+
+    return SimulationReport(scheduler=service.config.scheduler,
+                            latencies_s=latencies, violations=violations,
+                            rejected=rejected, ticks=ticks,
+                            makespan_s=makespan - base)
+
+
+# -- trace generators ----------------------------------------------------
+
+
+def bursty_trace(num_sessions: int, bursts: int, burst_size: int,
+                 burst_gap_s: float, deadline_s: float | None = None,
+                 jitter_s: float = 0.0, rng=None) -> list[Arrival]:
+    """Synchronised bursts: every ``burst_gap_s``, ``burst_size`` requests
+    land (round-robin across sessions) within ``jitter_s`` of the burst
+    edge — the pathological regime for drain-the-queue FIFO, where fixed
+    request-count groups make the tail of each burst wait many passes."""
+    trace = []
+    for burst in range(bursts):
+        edge = burst * burst_gap_s
+        for i in range(burst_size):
+            offset = float(rng.uniform(0.0, jitter_s)) if rng is not None and jitter_s else 0.0
+            trace.append(Arrival(time=edge + offset,
+                                 session_index=i % num_sessions,
+                                 deadline_s=deadline_s))
+    return trace
+
+
+def poisson_trace(num_sessions: int, num_requests: int, rate_hz: float,
+                  deadline_s: float | None = None, rng=None) -> list[Arrival]:
+    """Memoryless arrivals at ``rate_hz`` aggregate across all sessions."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    gaps = rng.exponential(1.0 / rate_hz, size=num_requests)
+    times = np.cumsum(gaps)
+    return [Arrival(time=float(t), session_index=int(i % num_sessions),
+                    deadline_s=deadline_s)
+            for i, t in enumerate(times)]

@@ -166,6 +166,25 @@ class TestLatencyModel:
         with pytest.raises(ValueError):
             LatencyModel().ensembler_coalesced(self.make_workload(), 0)
 
+    def test_codec_downlink_bytes(self):
+        """fp16 halves the payload, never the 64-byte frame header."""
+        from repro.ci.channel import HEADER_BYTES
+        framed = 1000 + HEADER_BYTES
+        assert LatencyModel.codec_downlink_bytes(framed, "fp32") == framed
+        assert LatencyModel.codec_downlink_bytes(framed, "fp16") == 500 + HEADER_BYTES
+
+    def test_fp16_codec_shrinks_communication_only(self):
+        model = LatencyModel()
+        workload = self.make_workload()
+        fp32 = model.ensembler(workload, 10)
+        fp16 = model.ensembler(workload, 10, downlink_codec="fp16")
+        assert fp16.communication_s < fp32.communication_s
+        assert fp16.client_s == pytest.approx(fp32.client_s)
+        assert fp16.server_s == pytest.approx(fp32.server_s)
+        coal16 = model.ensembler_coalesced(workload, 10, coalesced=4,
+                                           downlink_codec="fp16")
+        assert coal16.communication_s == pytest.approx(fp16.communication_s)
+
     def test_paper_calibration_holds(self):
         """The calibrated model must reproduce Table III within 2%."""
         workload = workload_from_model(ResNetConfig(num_classes=10), 32, 128)

@@ -9,6 +9,7 @@ from repro.core.selector import Selector
 from repro.models.resnet import ResNet, ResNetConfig, ResNetHead, ResNetTail
 from repro.serving import (
     BackpressureError,
+    Codec,
     FeatureResponse,
     InferenceService,
     ProtocolError,
@@ -16,6 +17,7 @@ from repro.serving import (
     Session,
     UploadRequest,
 )
+from repro.serving.protocol import _DTYPE_CODES
 from repro.utils.rng import new_rng
 
 rng = np.random.default_rng(7)
@@ -108,6 +110,102 @@ class TestProtocol:
         assert channel.stats.uplink_messages == 1
         assert channel.stats.uplink_bytes == len(request.to_bytes())
 
+    @pytest.mark.parametrize("dtype", sorted(_DTYPE_CODES, key=str),
+                             ids=lambda d: str(d))
+    def test_round_trip_over_every_wire_dtype(self, dtype):
+        """Property-style: every registered dtype survives the frame."""
+        if dtype == np.dtype(np.bool_):
+            features = rng.random((2, 3, 5)) > 0.5
+        elif dtype.kind in "iu":
+            features = rng.integers(0, 100, size=(2, 3, 5)).astype(dtype)
+        else:
+            features = rng.random((2, 3, 5)).astype(dtype)
+        parsed = UploadRequest.from_bytes(UploadRequest(4, 9, features).to_bytes())
+        assert parsed.features.dtype == dtype
+        np.testing.assert_array_equal(parsed.features, features)
+        response = FeatureResponse(4, 9, [features, features])
+        reparsed = FeatureResponse.from_bytes(response.to_bytes())
+        for arr in reparsed.outputs:
+            assert arr.dtype == dtype
+            np.testing.assert_array_equal(arr, features)
+
+    def _valid_blob(self) -> bytearray:
+        return bytearray(
+            UploadRequest(1, 1, np.zeros((2, 3), dtype=np.float32)).to_bytes())
+
+    def test_truncated_header_rejected(self):
+        blob = self._valid_blob()
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            UploadRequest.from_bytes(bytes(blob[:32]))
+
+    def test_version_mismatch_rejected(self):
+        blob = self._valid_blob()
+        blob[4:6] = (1).to_bytes(2, "little")  # wire version 1 frame
+        with pytest.raises(ProtocolError, match="protocol version"):
+            UploadRequest.from_bytes(bytes(blob))
+
+    def test_unknown_dtype_code_rejected(self):
+        blob = self._valid_blob()
+        blob[30:32] = (250).to_bytes(2, "little")
+        with pytest.raises(ProtocolError, match="unknown dtype code"):
+            UploadRequest.from_bytes(bytes(blob))
+
+    def test_unknown_codec_code_rejected(self):
+        blob = self._valid_blob()
+        blob[34:36] = (77).to_bytes(2, "little")
+        with pytest.raises(ProtocolError, match="unknown codec code"):
+            UploadRequest.from_bytes(bytes(blob))
+
+    def test_bad_ndim_rejected(self):
+        blob = self._valid_blob()
+        blob[32:34] = (9).to_bytes(2, "little")
+        with pytest.raises(ProtocolError, match="bad ndim"):
+            UploadRequest.from_bytes(bytes(blob))
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError, match="empty message"):
+            UploadRequest.from_bytes(b"")
+
+
+class TestCodec:
+    def test_parse_specs(self):
+        assert Codec.parse("fp16") is Codec.FP16
+        assert Codec.parse("FP32") is Codec.FP32
+        assert Codec.parse(None) is Codec.FP32
+        assert Codec.parse(Codec.FP16) is Codec.FP16
+        assert Codec.parse(1) is Codec.FP16
+        with pytest.raises(ValueError, match="unknown codec"):
+            Codec.parse("fp8")
+
+    def test_fp16_narrows_response_payload_exactly(self):
+        outputs = [rng.random((2, 16)).astype(np.float32) for _ in range(3)]
+        fp32 = FeatureResponse.encode(1, 0, outputs, codec="fp32")
+        fp16 = FeatureResponse.encode(1, 0, outputs, codec="fp16")
+        assert fp16.codec is Codec.FP16
+        assert all(arr.dtype == np.float16 for arr in fp16.outputs)
+        # exact byte accounting: payload halves, per-array headers stay
+        assert fp16.wire_nbytes() == len(fp16.to_bytes())
+        assert fp16.wire_nbytes() == sum(
+            o.nbytes // 2 + HEADER_BYTES for o in outputs)
+        assert fp32.wire_nbytes() == sum(o.nbytes + HEADER_BYTES for o in outputs)
+
+    def test_fp16_round_trip_and_decode_tolerance(self):
+        outputs = [rng.random((2, 16)).astype(np.float32) for _ in range(3)]
+        parsed = FeatureResponse.from_bytes(
+            FeatureResponse.encode(1, 0, outputs, codec="fp16").to_bytes())
+        assert parsed.codec is Codec.FP16
+        decoded = parsed.decoded()
+        for got, want in zip(decoded, outputs):
+            assert got.dtype == np.float32
+            np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_fp32_codec_is_identity(self):
+        outputs = [rng.random((2, 16)).astype(np.float32)]
+        response = FeatureResponse.encode(1, 0, outputs)
+        assert response.outputs[0] is outputs[0] or np.shares_memory(
+            response.outputs[0], outputs[0])
+        np.testing.assert_array_equal(response.decoded()[0], outputs[0])
+
 
 class TestTransferStats:
     def test_add_combines_counters(self):
@@ -187,6 +285,21 @@ class TestSessions:
         assert session.result(rid).shape == (1, 4)
         assert session.outstanding == 0
 
+    def test_take_response_and_discard_results(self):
+        service = self.make_service()
+        head, tail, selector = make_client_parts(tiny_config(), 3, 2)
+        session = service.open_session(head, tail, selector=selector)
+        images = rng.random((1, 3, 16, 16)).astype(np.float32)
+        first = session.submit(images)
+        second = session.submit(images)
+        service.run_until_idle()
+        response = session.take_response(first)
+        assert isinstance(response, FeatureResponse)
+        assert response.num_nets == 3
+        assert session.take_response(first) is None  # popped
+        assert session.discard_results() == 1  # the second response
+        assert not session.has_result(second)
+
     def test_result_consumed_twice_says_so(self):
         service = self.make_service()
         head, tail, selector = make_client_parts(tiny_config(), 3, 2)
@@ -217,6 +330,56 @@ class TestSessions:
         service.close_session(session)
         assert service.pending == 0
         assert service.run_until_idle() == 0
+
+    def test_close_session_counts_cancelled_requests(self):
+        """Shed queued work is observable: uplink bytes were already
+        accounted, so the drop must show up in stats.cancelled_requests."""
+        service = self.make_service()
+        head, tail, selector = make_client_parts(tiny_config(), 3, 2)
+        victim = service.open_session(head, tail, selector=selector)
+        survivor = service.open_session(head, tail, selector=selector)
+        images = rng.random((1, 3, 16, 16)).astype(np.float32)
+        victim.submit(images)
+        victim.submit(images)
+        survivor.submit(images)
+        assert service.stats.cancelled_requests == 0
+        service.close_session(victim)
+        assert service.stats.cancelled_requests == 2
+        assert service.pending == 1  # the survivor's request is untouched
+        service.run_until_idle()
+        assert service.stats.served_requests == 1
+        service.close_session(survivor)  # nothing queued: no new cancels
+        assert service.stats.cancelled_requests == 2
+
+    def test_fp16_session_halves_downlink_and_keeps_outputs_close(self):
+        """Codec negotiation at open_session: exact narrowed byte
+        accounting, outputs within fp16 tolerance of the fp32 session."""
+        config = tiny_config()
+        bodies = make_bodies(3, config)
+        service = InferenceService(Server(bodies), max_batch=4)
+        head, tail, selector = make_client_parts(config, 3, 2)
+        fp32 = service.open_session(head, tail, selector=selector)
+        fp16 = service.open_session(head, tail, selector=selector, codec="fp16")
+        assert fp16.codec is Codec.FP16
+        images = rng.random((2, 3, 16, 16)).astype(np.float32)
+        rid32 = fp32.submit(images)
+        rid16 = fp16.submit(images)
+        service.run_until_idle()
+        logits32 = fp32.result(rid32)
+        logits16 = fp16.result(rid16)
+        np.testing.assert_allclose(logits16, logits32, atol=5e-2)
+        assert fp32.stats.uplink_bytes == fp16.stats.uplink_bytes
+        payload32 = fp32.stats.downlink_bytes - 3 * HEADER_BYTES
+        assert fp16.stats.downlink_bytes == payload32 // 2 + 3 * HEADER_BYTES
+
+    def test_config_codec_sets_session_default(self):
+        service = InferenceService(Server(make_bodies(2)), codec="fp16")
+        head, tail, selector = make_client_parts(tiny_config(), 2, 1)
+        default = service.open_session(head, tail, selector=selector)
+        override = service.open_session(head, tail, selector=selector,
+                                        codec="fp32")
+        assert default.codec is Codec.FP16
+        assert override.codec is Codec.FP32
 
 
 class TestCoalescing:
@@ -362,6 +525,10 @@ class TestBackpressure:
             ServingConfig(max_batch=0)
         with pytest.raises(ValueError):
             ServingConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServingConfig(scheduler="lifo")
+        with pytest.raises(ValueError):
+            ServingConfig(codec="fp8")
 
 
 class TestPresetWiring:

@@ -1,0 +1,190 @@
+"""Tests for the event-driven serving simulation (virtual clock, SLOs)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ci import Server
+from repro.ci.pipeline import Client
+from repro.latency.model import LatencyModel, SplitWorkload
+from repro.models.resnet import ResNet, ResNetConfig
+from repro.serving import (
+    Arrival,
+    DeadlineScheduler,
+    InferenceService,
+    TickCost,
+    bursty_trace,
+    poisson_trace,
+    simulate,
+)
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(23)
+
+FEATURES = rng.random((1, 8, 8, 8)).astype(np.float32)
+
+
+def tiny_bodies(num_nets=2):
+    config = ResNetConfig(num_classes=4, stem_channels=8, stage_channels=(8, 16),
+                          blocks_per_stage=(1, 1), use_maxpool=True)
+    bodies = [ResNet(config, rng=new_rng(i)).body for i in range(num_nets)]
+    for body in bodies:
+        body.eval()
+    return bodies
+
+
+def make_service(scheduler, num_sessions=4, max_batch=4, max_queue=64):
+    service = InferenceService(Server(tiny_bodies()), max_batch=max_batch,
+                               max_queue=max_queue, scheduler=scheduler)
+    sessions = [service.adopt_session(Client(nn.Identity(), nn.Identity()))
+                for _ in range(num_sessions)]
+    return service, sessions
+
+
+class TestTraces:
+    def test_bursty_trace_shape(self):
+        trace = bursty_trace(num_sessions=4, bursts=3, burst_size=8,
+                             burst_gap_s=0.05, deadline_s=0.1)
+        assert len(trace) == 24
+        assert {a.time for a in trace} == {0.0, 0.05, 0.1}
+        assert {a.session_index for a in trace} == {0, 1, 2, 3}
+        assert all(a.deadline_s == 0.1 for a in trace)
+
+    def test_poisson_trace_monotone(self):
+        trace = poisson_trace(num_sessions=3, num_requests=20, rate_hz=100.0,
+                              rng=np.random.default_rng(5))
+        times = [a.time for a in trace]
+        assert times == sorted(times)
+        assert len(trace) == 20
+
+
+class TestTickCost:
+    def test_pass_seconds(self):
+        cost = TickCost(pass_overhead_s=0.01, per_sample_s=0.001)
+        assert cost.pass_seconds(5) == pytest.approx(0.015)
+
+    def test_from_latency_model_fp16_cheaper_downlink(self):
+        model = LatencyModel()
+        workload = SplitWorkload(batch_size=4, client_head_flops=1e6,
+                                 client_tail_flops=1e6, server_body_flops=4e8,
+                                 upload_bytes=4 * 8192 * 4 + 64,
+                                 download_bytes_per_net=4 * 256 * 4 + 64)
+        fp32 = TickCost.from_latency_model(model, workload, num_nets=8)
+        fp16 = TickCost.from_latency_model(model, workload, num_nets=8,
+                                           codec="fp16")
+        assert fp32.per_sample_s > 0
+        assert fp32.pass_overhead_s > 0
+        assert fp16.per_request_downlink_s < fp32.per_request_downlink_s
+        assert fp16.per_sample_s == fp32.per_sample_s
+
+
+class TestSimulate:
+    def test_empty_trace(self):
+        service, sessions = make_service("fifo")
+        report = simulate(service, sessions, [], TickCost(),
+                          default_features=FEATURES)
+        assert report.served == 0 and report.ticks == 0
+        assert report.p95_s == 0.0
+
+    def test_fifo_serves_whole_trace(self):
+        service, sessions = make_service("fifo")
+        trace = bursty_trace(num_sessions=4, bursts=2, burst_size=8,
+                             burst_gap_s=0.1)
+        cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+        report = simulate(service, sessions, trace, cost,
+                          default_features=FEATURES)
+        assert report.served == 16
+        assert report.rejected == 0
+        assert report.ticks == 4  # 8-request bursts in max_batch=4 groups
+        assert service.stats.served_requests == 16
+        assert 0 < report.p50_s <= report.p95_s <= report.p99_s
+        assert report.makespan_s > 0
+
+    def test_deadline_violations_counted(self):
+        service, sessions = make_service("fifo", max_batch=1)
+        trace = [Arrival(time=0.0, session_index=i, deadline_s=0.015)
+                 for i in range(4)]
+        cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+        report = simulate(service, sessions, trace, cost,
+                          default_features=FEATURES)
+        # serial 11ms passes: completions 11/22/33/44ms against a 15ms SLO
+        assert report.violations == 3
+        assert report.violation_rate == pytest.approx(3 / 4)
+
+    def test_backpressure_counts_rejections(self):
+        service, sessions = make_service("fifo", max_queue=4)
+        trace = [Arrival(time=0.0, session_index=i % 4) for i in range(10)]
+        report = simulate(service, sessions, trace, cost=TickCost(),
+                          default_features=FEATURES)
+        assert report.rejected == 6  # queue of 4 absorbed the rest
+        assert report.served == 4
+
+    def test_per_arrival_features_override_default(self):
+        service, sessions = make_service("fifo", num_sessions=1)
+        wide = rng.random((3, 8, 8, 8)).astype(np.float32)
+        report = simulate(service, sessions,
+                          [Arrival(time=0.0, session_index=0, features=wide)],
+                          TickCost(), default_features=None)
+        assert report.served == 1
+        assert service.stats.served_samples == 3
+
+    def test_missing_features_raise(self):
+        service, sessions = make_service("fifo", num_sessions=1)
+        with pytest.raises(ValueError, match="default_features"):
+            simulate(service, sessions, [Arrival(time=0.0, session_index=0)],
+                     TickCost())
+
+    def test_repeated_simulate_on_one_service_is_stable(self):
+        """Trace times rebase onto the service's monotonic clock, so a
+        second replay must report the same latencies — not collapse
+        deadline slack against a stale 'now'."""
+        scheduler = DeadlineScheduler(pass_overhead_s=0.010,
+                                      sample_cost_s=0.001,
+                                      max_group_samples=16)
+        service, sessions = make_service(scheduler)
+        trace = bursty_trace(num_sessions=4, bursts=2, burst_size=16,
+                             burst_gap_s=0.08, deadline_s=0.04)
+        cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+        first = simulate(service, sessions, trace, cost,
+                         default_features=FEATURES)
+        second = simulate(service, sessions, trace, cost,
+                          default_features=FEATURES)
+        assert second.p95_s == pytest.approx(first.p95_s)
+        assert second.violations == first.violations
+        assert second.ticks == first.ticks
+        assert second.makespan_s == pytest.approx(first.makespan_s)
+
+
+class TestDeadlineBeatsFifoOnBursts:
+    """Acceptance: deadline-aware adaptive batching shows lower p95 than
+    drain-the-queue FIFO on a bursty arrival trace."""
+
+    COST = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+
+    def run(self, scheduler, deadline_s=0.04):
+        service, sessions = make_service(scheduler, num_sessions=4,
+                                         max_batch=4)
+        trace = bursty_trace(num_sessions=4, bursts=3, burst_size=16,
+                             burst_gap_s=0.08, deadline_s=deadline_s)
+        return simulate(service, sessions, trace, self.COST,
+                        default_features=FEATURES)
+
+    def test_deadline_p95_lower_and_fewer_violations(self):
+        fifo = self.run("fifo")
+        deadline = self.run(DeadlineScheduler(
+            pass_overhead_s=self.COST.pass_overhead_s,
+            sample_cost_s=self.COST.per_sample_s,
+            max_group_samples=16))
+        assert fifo.served == deadline.served == 48
+        # FIFO's fixed max_batch=4 groups serialise each 16-request burst
+        # into 4 passes; the deadline scheduler collapses it into one wide
+        # pass, so the burst tail stops queueing behind earlier passes.
+        assert deadline.p95_s < fifo.p95_s
+        assert deadline.ticks < fifo.ticks
+        assert deadline.violations < fifo.violations
+        assert deadline.violations == 0
+
+    def test_summary_mentions_scheduler(self):
+        report = self.run("fifo")
+        assert "fifo" in report.summary()
+        assert "p95" in report.summary()
