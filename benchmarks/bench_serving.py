@@ -15,17 +15,20 @@ and amortisation is a server-side property.
 
 A second, **scheduler-comparison** mode (``run_scheduler_benchmark``)
 exercises the pluggable-policy layer: simulated p95/p99 latency of
-fifo vs fair-share vs deadline scheduling on a bursty arrival trace
-(virtual clock, deterministic), wall-clock fair-share vs FIFO serving
-throughput on the same request wave, and fp32 vs fp16 downlink bytes of
-the negotiated wire codec.
+fifo vs fair-share vs weighted vs deadline scheduling on a bursty
+arrival trace (virtual clock, deterministic), wall-clock fair-share vs
+FIFO serving throughput on the same request wave, the per-tenant QoS
+layer (contended 2:1 weighted shares plus simulated per-tenant tails on
+a 2:1 offered trace), and fp32 vs fp16 vs int8 downlink bytes of the
+negotiated wire codecs.
 
 Run as pytest (``pytest benchmarks/bench_serving.py -s``) or directly
 (``python benchmarks/bench_serving.py``).  Either way records are appended
 to the ``BENCH_serving.json`` history at the repo root; the pytest entries
 additionally assert the acceptance bars (coalesced throughput ≥ 1.5x
 sequential for 8 sessions at N=8 bodies with outputs ≤ 1e-5; deadline p95
-below FIFO p95 on the bursty trace; fp16 downlink reduction ≥ 1.9x).
+below FIFO p95 on the bursty trace; weighted shares within 15% of the
+configured 2:1; fp16 downlink reduction ≥ 1.9x; int8 ≥ 3.5x).
 """
 
 import sys
@@ -133,11 +136,12 @@ def run_benchmark(session_counts=SESSION_COUNTS, num_nets=NUM_NETS,
 
 
 def _make_policy_service(bodies, scheduler, num_sessions, max_batch=4,
-                         codec="fp32"):
+                         codec="fp32", weights=None):
     service = InferenceService(Server(bodies), max_batch=max_batch,
                                max_queue=64, scheduler=scheduler, codec=codec)
-    sessions = [service.adopt_session(Client(nn.Identity(), nn.Identity()))
-                for _ in range(num_sessions)]
+    sessions = [service.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                      weight=(weights[i] if weights else 1.0))
+                for i in range(num_sessions)]
     return service, sessions
 
 
@@ -149,6 +153,7 @@ def _simulated_tail_latency(bodies, features, num_sessions) -> list[dict]:
     policies = {
         "fifo": "fifo",
         "fair": "fair",
+        "weighted": "weighted",  # equal weights here: the fair baseline
         "deadline": DeadlineScheduler(pass_overhead_s=cost.pass_overhead_s,
                                       sample_cost_s=cost.per_sample_s,
                                       max_group_samples=16),
@@ -195,13 +200,68 @@ def _wall_clock_throughput(bodies, features, num_sessions,
     }
 
 
-def _codec_downlink(bodies, features, num_sessions) -> dict:
-    """Downlink bytes and output drift of fp16 vs fp32 sessions.
+def _weighted_shares(bodies, features, weight_ratio=2.0,
+                     requests_per_session=24, max_batch=3) -> dict:
+    """Per-tenant QoS: contended weighted shares + simulated tails.
 
-    Measured on multi-image requests: narrowing halves the *payload* of
-    each framed feature map, so the reduction approaches 2x as payloads
-    dominate the fixed 64-byte per-array frame headers (single-image maps
-    of tiny benchmark bodies are header-bound and would understate it).
+    Two measurements of the same 2:1 policy.  First, *deterministic
+    service shares*: both tenants flood the queue and we count stacked
+    samples served to each while both still have backlog — deficit
+    round-robin should split them ``weight_ratio``:1.  Second, *simulated
+    per-tenant tails*: a virtual-clock replay of a 2:1 offered bursty
+    trace reports each tenant's own p50/p95, the view a paying tier
+    actually buys.
+    """
+    service, (heavy, light) = _make_policy_service(
+        bodies, "weighted", 2, max_batch=max_batch,
+        weights=(weight_ratio, 1.0))
+    for _ in range(requests_per_session):
+        heavy.submit_features(features)
+        light.submit_features(features)
+    served = {heavy.session_id: 0, light.session_id: 0}
+    while heavy.outstanding and light.outstanding:
+        for response in service.tick():
+            served[response.session_id] += response.outputs[0].shape[0]
+    service.run_until_idle()
+    for session in (heavy, light):
+        session.discard_results()
+    share_ratio = served[heavy.session_id] / max(served[light.session_id], 1)
+
+    cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+    trace = bursty_trace(num_sessions=2, bursts=3, burst_size=12,
+                         burst_gap_s=0.08,
+                         session_weights=(weight_ratio, 1.0))
+    sim_service, sim_sessions = _make_policy_service(
+        bodies, "weighted", 2, max_batch=max_batch,
+        weights=(weight_ratio, 1.0))
+    report = simulate(sim_service, sim_sessions, trace, cost,
+                      default_features=features)
+    sim_heavy, sim_light = (s.session_id for s in sim_sessions)
+    return {
+        "weight_ratio": weight_ratio,
+        "heavy_samples": served[heavy.session_id],
+        "light_samples": served[light.session_id],
+        "share_ratio": share_ratio,
+        "share_error": abs(share_ratio - weight_ratio) / weight_ratio,
+        "simulated": {
+            "heavy_p50_ms": report.session_percentile(sim_heavy, 50) * 1e3,
+            "heavy_p95_ms": report.session_percentile(sim_heavy, 95) * 1e3,
+            "light_p50_ms": report.session_percentile(sim_light, 50) * 1e3,
+            "light_p95_ms": report.session_percentile(sim_light, 95) * 1e3,
+        },
+    }
+
+
+def _codec_downlink(bodies, features, num_sessions) -> dict:
+    """Downlink bytes and output drift of fp16/int8 vs fp32 sessions.
+
+    Measured on multi-image requests: narrowing shrinks the *payload* of
+    each framed feature map (2x for fp16, 4x for int8), so the reduction
+    approaches the dtype ratio as payloads dominate the fixed 64-byte
+    per-array frame headers (single-image maps of tiny benchmark bodies
+    are header-bound and would understate it).  Int8 quantisation
+    parameters ride inside the fixed headers, so they cost zero extra
+    wire bytes.
     """
     def serve(codec):
         service, sessions = _make_policy_service(bodies, "fifo", num_sessions,
@@ -213,17 +273,27 @@ def _codec_downlink(bodies, features, num_sessions) -> dict:
         downlink = sum(s.stats.downlink_bytes for s in sessions)
         return downlink, outputs
 
+    def drift(narrow_out, fp32_out):
+        return max(float(np.abs(a - b).max())
+                   for outs_n, outs32 in zip(narrow_out, fp32_out)
+                   for a, b in zip(outs_n, outs32))
+
     fp32_bytes, fp32_out = serve("fp32")
     fp16_bytes, fp16_out = serve("fp16")
-    max_abs_diff = max(
-        float(np.abs(a - b).max())
-        for outs16, outs32 in zip(fp16_out, fp32_out)
-        for a, b in zip(outs16, outs32))
+    int8_bytes, int8_out = serve("int8")
+    # Affine per-map quantisation promises error <= (max - min) / 510 per
+    # map; the widest *output* map (not the [0, 1) inputs) sets the bound.
+    int8_bound = max(float(arr.max() - arr.min()) / 510.0
+                     for outs in fp32_out for arr in outs)
     return {
         "fp32_downlink_bytes": fp32_bytes,
         "fp16_downlink_bytes": fp16_bytes,
+        "int8_downlink_bytes": int8_bytes,
         "downlink_reduction": fp32_bytes / fp16_bytes,
-        "max_abs_diff": max_abs_diff,
+        "int8_downlink_reduction": fp32_bytes / int8_bytes,
+        "max_abs_diff": drift(fp16_out, fp32_out),
+        "int8_max_abs_diff": drift(int8_out, fp32_out),
+        "int8_drift_bound": int8_bound,
     }
 
 
@@ -247,6 +317,7 @@ def run_scheduler_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
         "simulated": _simulated_tail_latency(bodies, features, num_sessions),
         "throughput": _wall_clock_throughput(bodies, features, num_sessions,
                                              requests_per_session, repeats),
+        "weighted": _weighted_shares(bodies, features),
         "codec_batch": codec_batch,
         "codec": _codec_downlink(bodies, codec_features, num_sessions),
     }
@@ -265,11 +336,22 @@ def print_scheduler_record(record: dict) -> None:
     print(f"wall-clock wave: fifo {thr['fifo_s'] * 1e3:.2f} ms, "
           f"fair {thr['fair_s'] * 1e3:.2f} ms "
           f"(fair/fifo throughput {thr['fair_vs_fifo']:.2f}x)")
+    weighted = record["weighted"]
+    sim = weighted["simulated"]
+    print(f"weighted shares ({weighted['weight_ratio']:g}:1 configured): "
+          f"{weighted['heavy_samples']} vs {weighted['light_samples']} samples "
+          f"while contended ({weighted['share_ratio']:.2f}x, "
+          f"error {weighted['share_error'] * 100:.1f}%); simulated "
+          f"heavy p50/p95 {sim['heavy_p50_ms']:.1f}/{sim['heavy_p95_ms']:.1f} ms, "
+          f"light p50/p95 {sim['light_p50_ms']:.1f}/{sim['light_p95_ms']:.1f} ms")
     codec = record["codec"]
     print(f"downlink codec: fp32 {codec['fp32_downlink_bytes']} B, "
           f"fp16 {codec['fp16_downlink_bytes']} B "
-          f"({codec['downlink_reduction']:.2f}x smaller, "
-          f"max |diff| {codec['max_abs_diff']:.2e})")
+          f"({codec['downlink_reduction']:.2f}x, "
+          f"max |diff| {codec['max_abs_diff']:.2e}), "
+          f"int8 {codec['int8_downlink_bytes']} B "
+          f"({codec['int8_downlink_reduction']:.2f}x, "
+          f"max |diff| {codec['int8_max_abs_diff']:.2e})")
 
 
 def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
@@ -306,8 +388,10 @@ def test_coalesced_serving_throughput():
 
 def test_scheduler_comparison():
     """Acceptance bars for the pluggable-policy layer: adaptive deadline
-    batching beats drain-the-queue FIFO p95 on a bursty trace, and the
-    fp16 codec cuts downlink bytes ≥ 1.9x at ≤ 1e-2 output drift."""
+    batching beats drain-the-queue FIFO p95 on a bursty trace, weighted
+    fair sharing delivers the configured 2:1 within 15%, the fp16 codec
+    cuts downlink bytes ≥ 1.9x at ≤ 1e-2 output drift, and the int8
+    codec cuts them ≥ 3.5x at bounded quantisation drift."""
     record = run_scheduler_benchmark()
     write_record(record)
     print_scheduler_record(record)
@@ -316,12 +400,24 @@ def test_scheduler_comparison():
         f"deadline p95 ({by_policy['deadline']['p95_ms']:.1f} ms) must beat "
         f"FIFO p95 ({by_policy['fifo']['p95_ms']:.1f} ms) on the bursty trace")
     assert by_policy["deadline"]["slo_violations"] <= by_policy["fifo"]["slo_violations"]
+    assert record["weighted"]["share_error"] <= 0.15, (
+        f"weighted shares off the configured "
+        f"{record['weighted']['weight_ratio']:g}:1 by "
+        f"{record['weighted']['share_error'] * 100:.1f}% (> 15%)")
     assert record["codec"]["downlink_reduction"] >= 1.9, (
         f"fp16 codec must cut downlink bytes ≥1.9x, got "
         f"{record['codec']['downlink_reduction']:.2f}x")
     assert record["codec"]["max_abs_diff"] <= 1e-2, (
         f"fp16 feature drift above documented tolerance: "
         f"{record['codec']['max_abs_diff']:.2e}")
+    assert record["codec"]["int8_downlink_reduction"] >= 3.5, (
+        f"int8 codec must cut downlink bytes ≥3.5x, got "
+        f"{record['codec']['int8_downlink_reduction']:.2f}x")
+    # Affine per-map quantisation promises error <= (max-min)/510 per map.
+    bound = record["codec"]["int8_drift_bound"] * 1.01 + 1e-6
+    assert record["codec"]["int8_max_abs_diff"] <= bound, (
+        f"int8 feature drift {record['codec']['int8_max_abs_diff']:.2e} "
+        f"above the per-map quantisation bound {bound:.2e}")
 
 
 if __name__ == "__main__":

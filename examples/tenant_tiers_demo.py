@@ -1,0 +1,108 @@
+"""Per-tenant QoS demo: weighted tiers plus a rate-limited tenant.
+
+Three tenants share one fused N-body Ensembler server through the
+:mod:`repro.serving` QoS layer:
+
+* **gold**   — fair-share weight 2.0: buys ~2x the stacked samples of
+  silver while both have backlog (deficit round-robin over samples);
+* **silver** — weight 1.0: the baseline paying tier;
+* **free**   — weight 1.0 but behind a token-bucket
+  :class:`~repro.serving.service.RateLimit`: it may burst a few
+  requests, then sustains only its configured rate — excess submissions
+  raise ``RateLimitedError`` and are counted, not queued.
+
+The same bursty arrival trace (offered 2:1:2 across the tenants —
+*free* offers as much as gold but is throttled at admission) is
+replayed on the virtual clock, then per-tenant p50/p95 latency and
+exact downlink bytes are printed.  Gold and silver negotiate different
+downlink codecs (int8 vs fp16) to show per-session codec negotiation
+riding along with the QoS knobs.
+
+Run:  python examples/tenant_tiers_demo.py
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import nn
+from repro.ci import Server
+from repro.ci.pipeline import Client
+from repro.models.resnet import ResNetBody, ResNetConfig
+from repro.serving import (
+    InferenceService,
+    RateLimit,
+    TickCost,
+    bursty_trace,
+    simulate,
+)
+from repro.utils.rng import new_rng
+
+NUM_NETS = 6
+WIDTH = 8
+IMAGE_HW = 16
+
+
+def main():
+    config = ResNetConfig(num_classes=10, stem_channels=WIDTH,
+                          stage_channels=(WIDTH, 2 * WIDTH),
+                          blocks_per_stage=(1, 1), use_maxpool=True)
+    bodies = [ResNetBody(config, new_rng(300 + i)) for i in range(NUM_NETS)]
+    for body in bodies:
+        body.eval()
+
+    service = InferenceService(Server(bodies), max_batch=4, max_queue=128,
+                               scheduler="weighted")
+    # Protocol-plane clients (identity head/tail) keep the demo on the
+    # QoS layer; serving_demo.py shows full head/selector/tail tenants.
+    gold = service.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                 weight=2.0, codec="int8")
+    silver = service.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                   weight=1.0, codec="fp16")
+    free = service.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                 weight=1.0,
+                                 rate_limit=RateLimit(rate_per_s=50.0,
+                                                      burst=4))
+    tenants = {"gold (w=2, int8)": gold,
+               "silver (w=1, fp16)": silver,
+               "free (rate-limited)": free}
+
+    features = new_rng(7).random((1, config.stem_channels, IMAGE_HW // 2,
+                                  IMAGE_HW // 2), dtype=np.float32)
+    # Bursty offered load, 2:1:2 across (gold, silver, free): free *offers*
+    # as much as gold, but its bucket sheds the excess at admission.
+    trace = bursty_trace(num_sessions=3, bursts=4, burst_size=15,
+                         burst_gap_s=0.10, deadline_s=0.08,
+                         session_weights=(2.0, 1.0, 2.0))
+    cost = TickCost(pass_overhead_s=0.008, per_sample_s=0.001,
+                    per_request_downlink_s=0.0005)
+
+    print(f"replaying {len(trace)} arrivals over "
+          f"{max(a.time for a in trace) * 1e3:.0f} virtual ms "
+          f"(N={NUM_NETS} bodies, weighted scheduler, max_batch=4)\n")
+    report = simulate(service, [gold, silver, free], trace, cost,
+                      default_features=features)
+    print(report.summary())
+    print(f"\n{'tenant':>20}  {'served':>6}  {'p50 [ms]':>9}  {'p95 [ms]':>9}  "
+          f"{'downlink [B]':>12}")
+    for name, session in tenants.items():
+        sid = session.session_id
+        served = len(report.latencies_by_session.get(sid, ()))
+        print(f"{name:>20}  {served:>6}  "
+              f"{report.session_percentile(sid, 50) * 1e3:>9.1f}  "
+              f"{report.session_percentile(sid, 95) * 1e3:>9.1f}  "
+              f"{session.stats.downlink_bytes:>12}")
+    print(f"\nthrottled (free tier's bucket): "
+          f"{service.stats.throttled_requests} requests shed at admission")
+    print("gold's int8 downlink is ~4x smaller per response than fp32; "
+          "silver's fp16 ~2x — headers are never narrowed, and the "
+          "quantisation parameters ride inside them for free.")
+
+
+if __name__ == "__main__":
+    main()

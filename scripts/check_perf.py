@@ -16,8 +16,10 @@ benchmarks live in ``benchmarks/``):
   1e-5.
 * **scheduler/codec** — the fair-share scheduler must not degrade serving
   throughput vs FIFO by more than 10% on the same request wave, deadline
-  scheduling must beat drain-the-queue FIFO p95 on the bursty trace, and
-  the negotiated fp16 codec must cut downlink bytes by >= 1.9x.
+  scheduling must beat drain-the-queue FIFO p95 on the bursty trace, the
+  weighted fair scheduler must deliver the configured 2:1 tenant shares
+  within 15% on the contended trace, and the negotiated codecs must cut
+  downlink bytes by >= 1.9x (fp16) and >= 3.5x (int8).
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -114,8 +116,9 @@ def check_serving() -> list[str]:
 
 
 def check_schedulers() -> list[str]:
-    """Policy-layer gates: fairness must be near-free, fp16 must halve the
-    downlink, and deadline batching must beat FIFO tails.
+    """Policy-layer gates: fairness must be near-free, weighted shares
+    must track the configured ratio, fp16/int8 must shrink the downlink,
+    and deadline batching must beat FIFO tails.
 
     As with the serving gate, every measurement is appended to
     ``BENCH_serving.json`` so the CI artifact records what the gate saw.
@@ -137,11 +140,23 @@ def check_schedulers() -> list[str]:
             failures.append(
                 f"scheduler: deadline p95 ({by_policy['deadline']['p95_ms']:.1f} ms) "
                 f"does not beat FIFO p95 ({by_policy['fifo']['p95_ms']:.1f} ms)")
+        share_error = record["weighted"]["share_error"]
+        if share_error > 0.15:
+            failures.append(
+                f"scheduler: weighted shares off the configured "
+                f"{record['weighted']['weight_ratio']:g}:1 by "
+                f"{share_error * 100:.1f}% (> 15%): "
+                f"{record['weighted']['share_ratio']:.2f}x")
         reduction = record["codec"]["downlink_reduction"]
         if reduction < 1.9:
             failures.append(
                 f"codec: fp16 downlink reduction {reduction:.2f}x below the "
                 f"1.9x bar")
+        int8_reduction = record["codec"]["int8_downlink_reduction"]
+        if int8_reduction < 3.5:
+            failures.append(
+                f"codec: int8 downlink reduction {int8_reduction:.2f}x below "
+                f"the 3.5x bar")
         return failures
 
     return measure_with_retry(measure, "scheduler")
@@ -159,7 +174,8 @@ def main() -> int:
           "fused attack >= looped for K >= 7, "
           "coalesced serving >= sequential for S >= 4, "
           "fair-share within 10% of FIFO, deadline p95 < FIFO p95, "
-          "fp16 downlink >= 1.9x smaller")
+          "weighted 2:1 shares within 15%, "
+          "fp16 downlink >= 1.9x and int8 >= 3.5x smaller")
     return 0
 
 

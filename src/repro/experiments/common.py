@@ -72,24 +72,30 @@ class ExperimentPreset:
         return "fused" if self.backend == "batched" else "looped"
 
     def inference_service(self, server_or_bodies, *, scheduler: str | None = None,
-                          codec: str | None = None):
+                          codec: str | None = None, rate_limit=None):
         """Build the preset-shaped multi-tenant serving front-end.
 
         Accepts a configured :class:`~repro.ci.pipeline.Server` or a plain
         body list (wrapped with this preset's execution backend), and
         applies the preset's :class:`ServingConfig` scheduler shape.
-        ``scheduler`` / ``codec`` override the preset's policy without
-        rebuilding the config (e.g. ``scheduler="fair"`` for multi-tenant
-        fairness, ``codec="fp16"`` for dtype-narrowed downlinks).
+        ``scheduler`` / ``codec`` / ``rate_limit`` override the preset's
+        policy without rebuilding the config (e.g. ``scheduler="weighted"``
+        for proportional tenant shares, ``codec="int8"`` for quantised
+        downlinks, ``rate_limit=(100.0, 10)`` for a default per-session
+        token bucket).  Per-session QoS — a tenant's fair-share ``weight``
+        or its own bucket — is negotiated at ``open_session`` on the
+        returned service.
         """
         from repro.ci.pipeline import Server
-        from repro.serving.service import InferenceService
+        from repro.serving.service import InferenceService, RateLimit
 
         if not isinstance(server_or_bodies, Server):
             server_or_bodies = Server(list(server_or_bodies), backend=self.backend)
         config = self.serving
         overrides = {k: v for k, v in
-                     (("scheduler", scheduler), ("codec", codec)) if v is not None}
+                     (("scheduler", scheduler), ("codec", codec),
+                      ("rate_limit", RateLimit.parse(rate_limit)))
+                     if v is not None}
         if overrides:
             config = dataclasses.replace(config, **overrides)
         return InferenceService.from_config(server_or_bodies, config)

@@ -71,15 +71,16 @@ class LatencyModel:
         """Wire size of one framed downlink tensor under a serving codec.
 
         ``nbytes`` is the fp32 framed size (payload + ``HEADER_BYTES``);
-        the fp16 codec halves the payload, never the frame header —
-        matching the exact accounting of the narrowed
-        :class:`~repro.serving.protocol.FeatureResponse` frames.
+        a narrowing codec shrinks the payload by its dtype ratio (fp16
+        halves it, int8 quarters it), never the frame header — matching
+        the exact accounting of the narrowed
+        :class:`~repro.serving.protocol.FeatureResponse` frames (int8
+        quantisation parameters ride inside the fixed-size header).
         """
         from repro.serving.protocol import Codec
 
-        if Codec.parse(codec) is Codec.FP16:
-            return (nbytes - HEADER_BYTES) // 2 + HEADER_BYTES
-        return nbytes
+        itemsize = Codec.parse(codec).wire_itemsize
+        return (nbytes - HEADER_BYTES) * itemsize // 4 + HEADER_BYTES
 
     def standard_ci(self, workload: SplitWorkload) -> LatencyBreakdown:
         """Classical split inference: one body, one upload, one download."""
@@ -102,9 +103,10 @@ class LatencyModel:
         only a small serial fraction scales with N — the ~4% overhead the
         paper reports for N=10.  ``fused=False`` models a server that loops
         the bodies sequentially and pays the full N× body time.
-        ``downlink_codec="fp16"`` models a session that negotiated the
-        dtype-narrowing wire codec: the N feature downloads — the dominant
-        communication term — shrink to their narrowed framed size.
+        ``downlink_codec="fp16"`` (or ``"int8"``) models a session that
+        negotiated a dtype-narrowing wire codec: the N feature downloads
+        — the dominant communication term — shrink to their narrowed
+        framed size (2x / 4x smaller payloads respectively).
         """
         if num_nets < 1:
             raise ValueError("num_nets must be >= 1")

@@ -17,7 +17,8 @@ forward, so K waiting requests cost one fused pass instead of K.
   per-session codec negotiation and cross-client batch coalescing;
 * :mod:`repro.serving.scheduler` — pluggable admission/grouping policies
   (:class:`FifoScheduler`, :class:`FairShareScheduler`,
-  :class:`DeadlineScheduler`) the service delegates group formation to;
+  :class:`WeightedFairScheduler`, :class:`DeadlineScheduler`) the service
+  delegates group formation to;
 * :mod:`repro.serving.simulate` — an event-driven virtual-clock front-end
   replaying arrival-time traces with deadline-aware tick triggering and
   reporting p50/p95/p99 latency plus SLO violations.
@@ -38,11 +39,15 @@ from repro.serving.scheduler import (
     FairShareScheduler,
     FifoScheduler,
     Scheduler,
+    WeightedFairScheduler,
     make_scheduler,
 )
 from repro.serving.service import (
     BackpressureError,
     InferenceService,
+    RateLimit,
+    RateLimitedError,
+    RateLimiter,
     ServiceStats,
     ServingConfig,
 )
@@ -66,6 +71,9 @@ __all__ = [
     "FifoScheduler",
     "InferenceService",
     "ProtocolError",
+    "RateLimit",
+    "RateLimitedError",
+    "RateLimiter",
     "SCHEDULERS",
     "Scheduler",
     "ServiceStats",
@@ -75,6 +83,7 @@ __all__ = [
     "TickCost",
     "UploadRequest",
     "WIRE_VERSION",
+    "WeightedFairScheduler",
     "bursty_trace",
     "make_scheduler",
     "poisson_trace",

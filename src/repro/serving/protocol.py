@@ -25,7 +25,9 @@ a fixed 64-byte little-endian header followed by the raw array bytes::
         30     2  dtype code (see _DTYPE_CODES)
         32     2  ndim (1..6)
         34     2  codec (see Codec; 0 = identity fp32 framing)
-        36    24  shape, 6 x uint32 (unused dims zero)
+        36    24  shape, 6 x uint32 (unused dims zero; an int8-quantised
+                  frame carries its float32 scale / offset bits in
+                  slots 4 and 5, so it may use at most 4 real dims)
         60     4  padding (zero)
 
 The header size deliberately equals the channel's historical
@@ -36,10 +38,23 @@ calibration already used: ``sum(arr.nbytes + 64)``.
 Codec negotiation
 -----------------
 Wire version 2 repurposes the formerly-reserved header field as a
-:class:`Codec` code, negotiated per session at ``open_session``.  The only
-non-identity codec today is :attr:`Codec.FP16`: the server narrows float32
-``FeatureResponse`` payloads — the dominant Table-III downlink term — to
-fp16 on the wire, halving downlink bytes at ~1e-3 absolute feature error.
+:class:`Codec` code, negotiated per session at ``open_session``.  Two
+non-identity codecs exist today:
+
+* :attr:`Codec.FP16` narrows float32 ``FeatureResponse`` payloads — the
+  dominant Table-III downlink term — to fp16 on the wire, halving
+  downlink bytes at ~1e-3 absolute feature error.
+* :attr:`Codec.INT8` quantises each float32 map *affinely* to int8
+  (``q = round((x - offset) / scale) - 128`` with ``offset`` the map's
+  minimum), quartering the payload.  The per-map ``scale`` and
+  ``offset`` (float32 each) ride in the two
+  highest shape slots of that map's own 64-byte header — the slots are
+  reserved (zero) for the ≤4-d tensors the protocol ships, so the frame
+  layout and size are unchanged.  Per-map parameters bound the round-trip
+  error at ``(max - min) / 510`` per map, which is what keeps coarse
+  quantisation compatible with the ensemble-inversion privacy framing:
+  the reconstruction-relevant signal degrades before classification does.
+
 Uplink frames always travel at the client's native dtype (codec 0).
 """
 
@@ -70,16 +85,29 @@ class Codec(enum.IntEnum):
     """Wire encoding of a message's array payloads, negotiated per session.
 
     ``FP32`` is the identity codec: arrays travel at their native dtype.
-    ``FP16`` narrows float32 arrays to half precision on the wire — the
-    byte accounting (``wire_nbytes``) charges the narrowed frames exactly.
+    ``FP16`` narrows float32 arrays to half precision on the wire.
+    ``INT8`` quantises each float32 array affinely to int8 with per-map
+    ``(scale, offset)`` parameters carried in that map's frame header.
+    Whatever the codec, the byte accounting (``wire_nbytes``) charges the
+    narrowed frames exactly.
     """
 
     FP32 = 0
     FP16 = 1
+    INT8 = 2
 
     @classmethod
     def parse(cls, value: "Codec | int | str | None") -> "Codec":
-        """Coerce a user-facing spec (``'fp16'``, 1, ``Codec.FP16``)."""
+        """Coerce a user-facing spec to a :class:`Codec` member.
+
+        Args:
+            value: ``'fp16'`` / ``'int8'`` (any case), a wire code int, a
+                :class:`Codec` member, or ``None`` (meaning ``FP32``).
+
+        Returns:
+            The corresponding :class:`Codec`; raises ``ValueError`` on an
+            unknown name or code.
+        """
         if value is None:
             return cls.FP32
         if isinstance(value, cls):
@@ -93,17 +121,125 @@ class Codec(enum.IntEnum):
                     f"{[c.name.lower() for c in cls]}") from None
         return cls(value)
 
+    @property
+    def wire_itemsize(self) -> int:
+        """Bytes per element a float32 map occupies under this codec."""
+        return {Codec.FP32: 4, Codec.FP16: 2, Codec.INT8: 1}[self]
+
     def narrow(self, arr: np.ndarray) -> np.ndarray:
-        """Encode one array for the wire (fp16 narrows float32 maps)."""
+        """Encode one array for the wire (fp16 narrows float32 maps).
+
+        Only valid for the parameter-free codecs; :attr:`INT8` needs its
+        per-map quantisation parameters, so use :meth:`encode_array`.
+        """
+        if self is Codec.INT8:
+            raise ValueError("int8 carries per-map parameters; "
+                             "use Codec.encode_array")
         if self is Codec.FP16 and arr.dtype == np.float32:
             return arr.astype(np.float16)
         return arr
 
     def widen(self, arr: np.ndarray) -> np.ndarray:
-        """Decode one wire array back to compute dtype (fp16 -> float32)."""
+        """Decode one wire array back to compute dtype (fp16 -> float32).
+
+        Only valid for the parameter-free codecs; :attr:`INT8` needs its
+        per-map quantisation parameters, so use :meth:`decode_array`.
+        """
+        if self is Codec.INT8 and arr.dtype == np.int8:
+            raise ValueError("int8 carries per-map parameters; "
+                             "use Codec.decode_array")
         if self is Codec.FP16 and arr.dtype == np.float16:
             return arr.astype(np.float32)
         return arr
+
+    def encode_array(self, arr: np.ndarray
+                     ) -> "tuple[np.ndarray, tuple[float, float] | None]":
+        """Encode one array for the wire, with any per-map parameters.
+
+        Args:
+            arr: a compute-dtype array (float32 maps are narrowed or
+                quantised; other dtypes pass through unchanged).
+
+        Returns:
+            ``(wire_array, qparams)`` where ``qparams`` is the
+            ``(scale, offset)`` pair for an int8-quantised map and
+            ``None`` otherwise.
+        """
+        if self is Codec.INT8:
+            if arr.dtype == np.float32:
+                return _quantize_int8(arr)
+            return arr, None  # non-float payloads pass through unquantised
+        return self.narrow(arr), None
+
+    def decode_array(self, arr: np.ndarray,
+                     qparams: "tuple[float, float] | None" = None
+                     ) -> np.ndarray:
+        """Decode one wire array back to compute dtype.
+
+        Args:
+            arr: the wire-form array (fp16 or int8 for narrowed maps).
+            qparams: the ``(scale, offset)`` pair carried in the
+                frame header for int8-quantised maps; ``None`` otherwise.
+
+        Returns:
+            The float32 (or original-dtype) compute array.
+        """
+        if self is Codec.INT8 and arr.dtype == np.int8 and qparams is not None:
+            return _dequantize_int8(arr, qparams)
+        if self is Codec.INT8:
+            return arr
+        return self.widen(arr)
+
+
+#: int8 affine quantisation spreads a map's [min, max] over 255 levels, so
+#: the worst-case round-trip error is half a level: (max - min) / 510.
+INT8_LEVELS = 255
+
+
+def _quantize_int8(arr: np.ndarray
+                   ) -> "tuple[np.ndarray, tuple[float, float]]":
+    """Affine-quantise one float32 map: ``q = round((x - offset)/scale) - 128``.
+
+    The per-map parameters are ``scale = (max - min) / 255`` and
+    ``offset = min`` — the map's own minimum, which is already an exact
+    float32 (anchoring at the minimum is what keeps the error bound
+    offset-independent: a combined zero-point ``-128 - min/scale`` would
+    lose whole quantisation levels to float32 rounding whenever the map
+    sits far from zero).  ``scale`` is rounded through float32 *before*
+    quantising, so the stored parameters are the exact ones the
+    ``(max - min) / 510`` bound holds for.  A constant map quantises to
+    all ``-128`` with ``scale = 1``, reproducing it exactly.
+    """
+    lo = float(arr.min())
+    hi = float(arr.max())
+    span = hi - lo  # float64: a full float32 range must not overflow
+    offset = np.float32(lo)
+    # Clamp the scale to the smallest *normal* float32: a sub-normal
+    # span / 255 would round to 0.0 in the header, breaking the
+    # "scale of 0 never occurs" invariant the decoder keys on.  Such a
+    # map then quantises to all -128 and reconstructs as its minimum —
+    # error <= span < 1e-40, far inside any practical tolerance.
+    if span <= 0.0:
+        scale = np.float32(1.0)
+    else:
+        scale = np.float32(max(span / INT8_LEVELS,
+                               float(np.finfo(np.float32).tiny)))
+    q = np.clip(np.rint((arr.astype(np.float64) - float(offset))
+                        / float(scale)) - 128, -128, 127).astype(np.int8)
+    return q, (float(scale), float(offset))
+
+
+def _dequantize_int8(arr: np.ndarray,
+                     qparams: "tuple[float, float]") -> np.ndarray:
+    """Invert :func:`_quantize_int8`: ``x = (q + 128) * scale + offset``.
+
+    Computed in float64 and rounded once to float32 at the end, so the
+    reconstruction lands on the nearest representable value to the ideal
+    dequantisation.
+    """
+    scale, offset = qparams
+    return ((arr.astype(np.float64) + 128.0) * scale
+            + offset).astype(np.float32)
 
 _DTYPE_CODES: dict[np.dtype, int] = {
     np.dtype(np.float32): 0,
@@ -127,17 +263,41 @@ def _frame_nbytes(arrays: list[np.ndarray]) -> int:
     return sum(arr.nbytes + HEADER_BYTES for arr in arrays)
 
 
+def _float_bits(value: float) -> int:
+    """The uint32 bit pattern of a float32 (how shape slots carry floats)."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    """Invert :func:`_float_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
 def _pack(kind: int, session_id: int, request_id: int, flags: int,
-          arrays: list[np.ndarray], codec: Codec = Codec.FP32) -> bytes:
+          arrays: list[np.ndarray], codec: Codec = Codec.FP32,
+          quant: "list[tuple[float, float] | None] | None" = None) -> bytes:
     if not arrays:
         raise ProtocolError("a message must carry at least one array")
+    if quant is not None and len(quant) != len(arrays):
+        raise ProtocolError("quant parameters must match the array count")
     chunks = []
     for index, arr in enumerate(arrays):
         if arr.dtype not in _DTYPE_CODES:
             raise ProtocolError(f"unsupported wire dtype {arr.dtype}")
         if not 1 <= arr.ndim <= _MAX_NDIM:
             raise ProtocolError(f"wire arrays must be 1..{_MAX_NDIM}-d, got {arr.ndim}-d")
-        shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
+        shape = list(arr.shape) + [0] * (_MAX_NDIM - arr.ndim)
+        qparams = quant[index] if quant is not None else None
+        if qparams is not None:
+            # The per-map scale / offset ride in the two highest shape
+            # slots, which an int8-quantised tensor must leave free.
+            if arr.ndim > _MAX_NDIM - 2:
+                raise ProtocolError(
+                    f"int8-quantised arrays must be 1..{_MAX_NDIM - 2}-d so "
+                    f"the header can carry scale/offset, got {arr.ndim}-d")
+            scale, offset = qparams
+            shape[_MAX_NDIM - 2] = _float_bits(scale)
+            shape[_MAX_NDIM - 1] = _float_bits(offset)
         chunks.append(_FRAME.pack(_MAGIC, WIRE_VERSION, kind, session_id,
                                   request_id, flags, index, len(arrays),
                                   _DTYPE_CODES[arr.dtype], arr.ndim,
@@ -147,12 +307,18 @@ def _pack(kind: int, session_id: int, request_id: int, flags: int,
 
 
 def _unpack(data: bytes, expected_kind: int
-            ) -> tuple[int, int, int, Codec, list[np.ndarray]]:
-    """Parse frames; returns ``(session_id, request_id, flags, codec, arrays)``."""
+            ) -> "tuple[int, int, int, Codec, list[np.ndarray], list[tuple[float, float] | None]]":
+    """Parse frames.
+
+    Returns ``(session_id, request_id, flags, codec, arrays, quant)``
+    where ``quant`` holds each frame's ``(scale, offset)`` pair (int8
+    frames) or ``None``.
+    """
     offset = 0
     header: tuple[int, int, int, int] | None = None
     count = None
     arrays: list[np.ndarray] = []
+    quant: list[tuple[float, float] | None] = []
     while offset < len(data):
         if len(data) - offset < _FRAME.size:
             raise ProtocolError("truncated frame header")
@@ -182,6 +348,15 @@ def _unpack(data: bytes, expected_kind: int
             raise ProtocolError(f"out-of-order frame index {index}")
         dtype = _CODE_DTYPES[dtype_code]
         shape = tuple(shape6[:ndim])
+        # An int8-quantised frame stores its scale / offset float32
+        # bits in the two highest shape slots (a scale of 0 never occurs,
+        # so zero slots mean "plain int8 payload, no parameters").
+        if (codec is Codec.INT8 and dtype == np.dtype(np.int8)
+                and ndim <= _MAX_NDIM - 2 and shape6[_MAX_NDIM - 2] != 0):
+            quant.append((_bits_float(shape6[_MAX_NDIM - 2]),
+                          _bits_float(shape6[_MAX_NDIM - 1])))
+        else:
+            quant.append(None)
         nbytes = int(np.prod(shape)) * dtype.itemsize
         if len(data) - offset < nbytes:
             raise ProtocolError("truncated array payload")
@@ -194,7 +369,7 @@ def _unpack(data: bytes, expected_kind: int
     if len(arrays) != count:
         raise ProtocolError(f"expected {count} arrays, got {len(arrays)}")
     session_id, request_id, flags, codec_code = header
-    return (session_id, request_id, flags, Codec(codec_code), arrays)
+    return (session_id, request_id, flags, Codec(codec_code), arrays, quant)
 
 
 @dataclasses.dataclass
@@ -233,13 +408,16 @@ class UploadRequest:
         return _frame_nbytes([self.features])
 
     def to_bytes(self) -> bytes:
+        """Serialise to wire frames; inverse of :meth:`from_bytes`."""
         flags = _FLAG_RECORD if self.record else 0
         return _pack(_KIND_UPLOAD, self.session_id, self.request_id, flags,
                      [self.features])
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UploadRequest":
-        session_id, request_id, flags, _codec, arrays = _unpack(data, _KIND_UPLOAD)
+        """Parse one framed upload; inverse of :meth:`to_bytes`."""
+        session_id, request_id, flags, _codec, arrays, _quant = _unpack(
+            data, _KIND_UPLOAD)
         if len(arrays) != 1:
             raise ProtocolError(f"upload carries one tensor, got {len(arrays)}")
         return cls(session_id, request_id, arrays[0],
@@ -255,8 +433,11 @@ class FeatureResponse:
     crosses the wire.
 
     ``outputs`` holds the *wire-form* arrays: under a non-identity codec
-    they are already narrowed (fp16), so ``wire_nbytes`` charges exactly
-    what ``to_bytes`` frames.  Build narrowed responses with
+    they are already narrowed (fp16) or quantised (int8), so
+    ``wire_nbytes`` charges exactly what ``to_bytes`` frames.  ``quant``
+    holds the per-map ``(scale, offset)`` pairs of int8-quantised
+    outputs (``None`` for parameter-free codecs); on the wire they travel
+    inside each map's own frame header.  Build narrowed responses with
     :meth:`encode` and read compute-dtype maps back with :meth:`decoded`.
     """
 
@@ -264,22 +445,38 @@ class FeatureResponse:
     request_id: int
     outputs: list[np.ndarray]
     codec: Codec = Codec.FP32
+    quant: "list[tuple[float, float] | None] | None" = None
 
     @classmethod
     def encode(cls, session_id: int, request_id: int,
                outputs: list[np.ndarray],
                codec: "Codec | int | str | None" = Codec.FP32) -> "FeatureResponse":
-        """Apply the session's negotiated codec to fresh server outputs."""
+        """Apply the session's negotiated codec to fresh server outputs.
+
+        Args:
+            session_id / request_id: the request being answered.
+            outputs: the N compute-dtype (float32) feature maps.
+            codec: the session's negotiated downlink codec spec.
+
+        Returns:
+            A response holding the wire-form (narrowed / quantised)
+            arrays plus any per-map quantisation parameters.
+        """
         codec = Codec.parse(codec)
-        return cls(session_id, request_id,
-                   [codec.narrow(arr) for arr in outputs], codec)
+        encoded = [codec.encode_array(arr) for arr in outputs]
+        params = [q for _, q in encoded]
+        return cls(session_id, request_id, [arr for arr, _ in encoded], codec,
+                   params if any(q is not None for q in params) else None)
 
     def decoded(self) -> list[np.ndarray]:
-        """The client-side view: fp16 wire maps widened back to float32."""
-        return [self.codec.widen(arr) for arr in self.outputs]
+        """The client-side view: wire maps decoded back to float32."""
+        params = self.quant or [None] * len(self.outputs)
+        return [self.codec.decode_array(arr, q)
+                for arr, q in zip(self.outputs, params)]
 
     @property
     def num_nets(self) -> int:
+        """How many per-body feature maps the response carries (N)."""
         return len(self.outputs)
 
     def wire_nbytes(self) -> int:
@@ -287,10 +484,14 @@ class FeatureResponse:
         return _frame_nbytes(self.outputs)
 
     def to_bytes(self) -> bytes:
+        """Serialise to wire frames; inverse of :meth:`from_bytes`."""
         return _pack(_KIND_RESPONSE, self.session_id, self.request_id, 0,
-                     list(self.outputs), codec=self.codec)
+                     list(self.outputs), codec=self.codec, quant=self.quant)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FeatureResponse":
-        session_id, request_id, _flags, codec, arrays = _unpack(data, _KIND_RESPONSE)
-        return cls(session_id, request_id, arrays, codec)
+        """Parse framed response bytes; inverse of :meth:`to_bytes`."""
+        session_id, request_id, _flags, codec, arrays, quant = _unpack(
+            data, _KIND_RESPONSE)
+        return cls(session_id, request_id, arrays, codec,
+                   quant if any(q is not None for q in quant) else None)

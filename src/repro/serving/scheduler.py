@@ -17,6 +17,11 @@ names:
   elects a leader session (rotating), then fills the group one request
   per session per cycle, so K waiting tenants each land ~1/K of every
   stacked pass regardless of how fast one of them submits.
+* :class:`WeightedFairScheduler` — deficit round-robin over payload
+  *samples*: sessions negotiate a ``weight`` at open time and receive
+  group slots proportional to it (a weight-2 tenant lands ~2x the samples
+  of a weight-1 tenant while both have backlog).  With all weights at 1
+  and single-sample requests it reduces to :class:`FairShareScheduler`.
 * :class:`DeadlineScheduler` — earliest-deadline-first with *adaptive*
   group formation: requests carry ``arrival_time``/``deadline``, and a
   group grows by payload size under a latency budget (estimated pass cost
@@ -70,15 +75,40 @@ class Scheduler:
         raise NotImplementedError
 
     def enqueue(self, request: UploadRequest) -> None:
+        """Admit one request into the scheduler's queue structure.
+
+        Called by the service *after* backpressure and byte accounting;
+        the request's ``arrival_time`` is already stamped.
+        """
         raise NotImplementedError
 
     def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
-        """Pop the next coalescible group (possibly empty)."""
+        """Pop the next coalescible group (possibly empty).
+
+        Args:
+            max_batch: the service's configured group-size cap (policies
+                may ignore it — :class:`DeadlineScheduler` does).
+            now: the service's virtual clock, for deadline-aware policies.
+
+        Returns:
+            Queued requests sharing one ``coalesce_key``, removed from
+            the queue; an empty list when nothing is pending.
+        """
         raise NotImplementedError
 
     def cancel_session(self, session_id: int) -> int:
         """Drop a closed tenant's queued requests; returns how many."""
         raise NotImplementedError
+
+    def set_session_weight(self, session_id: int, weight: float) -> None:
+        """Record a tenant's negotiated fair-share weight.
+
+        The service calls this when a session opens (and weights may be
+        re-negotiated while a session lives).  The default is a no-op:
+        only weight-aware policies (:class:`WeightedFairScheduler`) use
+        it, but every policy accepts it so services can switch schedulers
+        without changing session setup.
+        """
 
     def next_event_time(self, now: float) -> float:
         """Earliest moment a tick *should* fire, given the queue.
@@ -195,6 +225,165 @@ class FairShareScheduler(Scheduler):
         except ValueError:
             pass
         return len(queue)
+
+
+class WeightedFairScheduler(Scheduler):
+    """Deficit round-robin over payload samples: proportional tenant shares.
+
+    Each session has a FIFO queue, a negotiated ``weight`` (via
+    :meth:`set_session_weight`; unset sessions default to 1.0) and a
+    *deficit* counter measured in samples.  The scheduler runs one
+    *continuous* deficit-round-robin scan over the session rotation:
+    each visit a session's deficit grows by ``weight * quantum`` samples
+    and it pops queued requests while the deficit covers their batch
+    size, then the scan moves on.  A tick's group is simply the next
+    ``max_batch``-sized chunk of that service sequence — the scan
+    position (including a half-spent visit) carries over between ticks,
+    so proportional shares hold *whatever the group size*: while two
+    tenants both have backlog, their served-sample ratio converges to
+    their weight ratio even at ``max_batch=1``.  With all weights at 1
+    and single-sample, shape-homogeneous requests the schedule is
+    identical to :class:`FairShareScheduler`'s one-request-per-session
+    cycles.
+
+    Zero-weight sessions form a *best-effort* class: they accrue no
+    deficit and are skipped while any positive-weight session has work,
+    but are served round-robin (as if weight 1) whenever only
+    best-effort work is queued, so they starve under contention, not
+    forever.  A session's deficit resets when its queue drains — credit
+    cannot be banked while idle — and is otherwise bounded by one visit
+    accrual plus one request, never growing without bound.
+    """
+
+    name = "weighted"
+
+    def __init__(self, *, quantum: float = 1.0):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._queues: dict[int, collections.deque[UploadRequest]] = {}
+        self._rotation: collections.deque[int] = collections.deque()
+        self._weights: dict[int, float] = {}
+        self._deficits: dict[int, float] = {}
+        # Session whose DRR visit was interrupted by a full group: it
+        # resumes at the rotation front next tick without a fresh accrual.
+        self._open_visit: int | None = None
+
+    @property
+    def pending(self) -> int:
+        """Queued requests not yet handed out by :meth:`next_group`."""
+        return sum(len(q) for q in self._queues.values())
+
+    def set_session_weight(self, session_id: int, weight: float) -> None:
+        """Set a tenant's proportional share (>= 0; 0 = best-effort)."""
+        weight = float(weight)
+        if not math.isfinite(weight) or weight < 0:
+            raise ValueError(f"weight must be finite and >= 0, got {weight}")
+        self._weights[session_id] = weight
+
+    def weight_of(self, session_id: int) -> float:
+        """The session's negotiated weight (1.0 when never negotiated)."""
+        return self._weights.get(session_id, 1.0)
+
+    def enqueue(self, request: UploadRequest) -> None:
+        """Append to the tenant's FIFO queue (registering it if new)."""
+        if request.session_id not in self._queues:
+            self._queues[request.session_id] = collections.deque()
+            self._rotation.append(request.session_id)
+        self._queues[request.session_id].append(request)
+
+    def _contended(self) -> bool:
+        """True when some positive-weight session has queued work."""
+        return any(self._queues[sid] and self.weight_of(sid) > 0
+                   for sid in self._rotation)
+
+    def next_group(self, max_batch: int, now: float = 0.0) -> list[UploadRequest]:
+        """Pop the next ``max_batch`` samples of the continuous DRR scan.
+
+        The first eligible session with work sets the tick's coalesce
+        key; sessions whose head cannot coalesce are skipped (rotated,
+        no deficit accrual) and wait for their own tick.  A visit
+        interrupted by a full group resumes next tick without a fresh
+        accrual, so group size never distorts the shares.
+        """
+        contended = self._contended()
+
+        def eligible(session_id: int) -> bool:
+            if not self._queues.get(session_id):
+                return False
+            return not contended or self.weight_of(session_id) > 0
+
+        def eff_weight(session_id: int) -> float:
+            weight = self.weight_of(session_id)
+            return weight if contended else max(weight, 1.0)
+
+        if not any(eligible(session_id) for session_id in self._rotation):
+            return []
+        group: list[UploadRequest] = []
+        key = None
+        barren = 0  # consecutive scan steps that served nothing
+        while len(group) < max_batch:
+            session_id = self._rotation[0]
+            queue = self._queues.get(session_id)
+            if (not eligible(session_id)
+                    or (key is not None and queue[0].coalesce_key != key)):
+                if not queue:
+                    self._deficits.pop(session_id, None)  # no banked credit
+                if self._open_visit == session_id:
+                    self._open_visit = None
+                self._rotation.rotate(-1)
+                barren += 1
+            else:
+                if key is None:
+                    key = queue[0].coalesce_key
+                if self._open_visit != session_id:
+                    self._deficits[session_id] = (
+                        self._deficits.get(session_id, 0.0)
+                        + eff_weight(session_id) * self.quantum)
+                    self._open_visit = session_id
+                served_any = False
+                while (queue and len(group) < max_batch
+                       and queue[0].coalesce_key == key
+                       and queue[0].batch_size
+                       <= self._deficits[session_id] + 1e-9):
+                    request = queue.popleft()
+                    self._deficits[session_id] -= request.batch_size
+                    group.append(request)
+                    served_any = True
+                if served_any:
+                    barren = 0
+                if (not queue or queue[0].coalesce_key != key
+                        or self._deficits[session_id] + 1e-9
+                        < queue[0].batch_size):
+                    # Visit exhausted: close it and move the scan on.
+                    if not queue:
+                        self._deficits.pop(session_id, None)
+                    self._open_visit = None
+                    self._rotation.rotate(-1)
+                    if not served_any:
+                        barren += 1
+                # else: group filled mid-visit — the scan (front session,
+                # remaining deficit) resumes exactly here next tick.
+            if barren >= len(self._rotation):
+                if group:
+                    break
+                # Group still empty: the key-setting session accrues each
+                # pass, so keep scanning until it can afford its head.
+                barren = 0
+        return group
+
+    def cancel_session(self, session_id: int) -> int:
+        """Drop the tenant's queue, rotation slot, weight and deficit."""
+        queue = self._queues.pop(session_id, None)
+        try:
+            self._rotation.remove(session_id)
+        except ValueError:
+            pass
+        self._weights.pop(session_id, None)
+        self._deficits.pop(session_id, None)
+        if self._open_visit == session_id:
+            self._open_visit = None
+        return len(queue) if queue is not None else 0
 
 
 class DeadlineScheduler(Scheduler):
@@ -314,7 +503,8 @@ class DeadlineScheduler(Scheduler):
         return cancelled
 
 
-SCHEDULERS["fair-share"] = FairShareScheduler  # ergonomic alias
+SCHEDULERS["fair-share"] = FairShareScheduler  # ergonomic aliases
+SCHEDULERS["weighted-fair"] = WeightedFairScheduler
 
 
 def make_scheduler(spec: "str | Scheduler", **kwargs) -> Scheduler:

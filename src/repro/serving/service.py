@@ -32,6 +32,17 @@ narrows the N returned feature maps to half precision on the wire,
 halving the dominant Table-III downlink term; channels account the
 narrowed frames exactly.
 
+Per-tenant QoS
+--------------
+Two knobs separate paying tiers.  Sessions negotiate a fair-share
+``weight`` at ``open_session`` (consumed by weight-aware schedulers such
+as ``scheduler="weighted"`` — a weight-2 tenant receives ~2x the stacked
+samples of a weight-1 tenant while both have backlog).  Sessions may also
+carry a token-bucket :class:`RateLimit`: ``submit`` refills the bucket
+from the service clock and raises :class:`RateLimitedError` when a tenant
+exceeds its sustained rate + burst, counted in ``throttled_requests`` —
+a *policy* rejection, distinct from capacity backpressure below.
+
 Backpressure
 ------------
 The queue is bounded (``max_queue``): ``submit`` on a full queue raises
@@ -59,14 +70,121 @@ class BackpressureError(RuntimeError):
     """The service queue is full; the client must retry later."""
 
 
+class RateLimitedError(RuntimeError):
+    """The tenant exhausted its token bucket; retry after tokens refill.
+
+    Raised by :meth:`InferenceService.submit` *before* any bytes are
+    accounted, and counted in ``ServiceStats.throttled_requests`` — a
+    per-tenant policy rejection, distinct from the capacity
+    :class:`BackpressureError`.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class RateLimit:
+    """Token-bucket parameters for one tenant's admission rate.
+
+    ``rate_per_s`` tokens accrue per virtual-clock second up to ``burst``
+    capacity; each submitted request spends one token.  A tenant can
+    therefore burst ``burst`` requests instantly but sustains at most
+    ``rate_per_s`` requests/second.
+    """
+
+    rate_per_s: float
+    burst: float = 1.0
+
+    def __post_init__(self):
+        if not self.rate_per_s > 0:
+            raise ValueError("rate_per_s must be positive")
+        if not self.burst >= 1:
+            raise ValueError("burst must be >= 1 (a bucket must admit at "
+                             "least one request)")
+
+    @classmethod
+    def parse(cls, value: "RateLimit | tuple | float | None"
+              ) -> "RateLimit | None":
+        """Coerce a user-facing spec to a :class:`RateLimit`.
+
+        Args:
+            value: ``None`` (unlimited), a :class:`RateLimit`, a bare rate
+                in requests/second, or a ``(rate_per_s, burst)`` tuple.
+
+        Returns:
+            The parsed limit, or ``None`` for the unlimited spec.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, (int, float)):
+            return cls(rate_per_s=float(value))
+        return cls(*value)
+
+
+class RateLimiter:
+    """Mutable token-bucket state enforcing one session's :class:`RateLimit`.
+
+    The bucket starts full and refills lazily from the (monotonic)
+    service clock; limiters are created per session at open time and die
+    with it, so bucket state never leaks across ``close_session`` into a
+    later session (see ``tests/test_qos.py``).
+    """
+
+    def __init__(self, limit: RateLimit, now: float = 0.0):
+        self.limit = limit
+        self.tokens = float(limit.burst)
+        self._last_refill = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = max(self._last_refill, now)
+        self.tokens = min(float(self.limit.burst),
+                          self.tokens + elapsed * self.limit.rate_per_s)
+
+    def available(self, now: float) -> float:
+        """Tokens in the bucket after refilling up to ``now``."""
+        self._refill(now)
+        return self.tokens
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if the refilled bucket covers them.
+
+        Returns:
+            True (tokens spent) or False (bucket unchanged, caller
+            should throttle).
+        """
+        self._refill(now)
+        if self.tokens + 1e-9 < cost:
+            return False
+        self.tokens -= cost
+        return True
+
+    def seconds_until(self, cost: float = 1.0) -> float:
+        """Virtual seconds until ``cost`` tokens will be available."""
+        deficit = cost - self.tokens
+        return max(0.0, deficit / self.limit.rate_per_s)
+
+
+#: sentinel distinguishing "use the service default" from an explicit
+#: ``rate_limit=None`` (unlimited) at ``open_session`` / ``adopt_session``.
+_DEFAULT_LIMIT = object()
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingConfig:
-    """Scheduler shape of one deployment (presets carry one of these)."""
+    """Scheduler shape of one deployment (presets carry one of these).
 
-    max_batch: int = 8   # requests coalesced into one stacked pass
+    ``max_batch`` caps the requests coalesced into one stacked pass for
+    the count-capped policies (``fifo`` / ``fair`` / ``weighted``);
+    ``DeadlineScheduler`` deliberately ignores it and sizes groups by
+    payload and SLO slack.  ``rate_limit`` is the *default* per-session
+    token bucket applied to tenants that do not negotiate their own
+    (``None`` = unlimited).
+    """
+
+    max_batch: int = 8   # group-size cap (ignored by the deadline policy)
     max_queue: int = 64  # bounded-queue backpressure threshold
     scheduler: str = "fifo"  # admission/grouping policy (see serving.scheduler)
     codec: str = "fp32"  # default downlink codec sessions negotiate
+    rate_limit: RateLimit | None = None  # default per-session token bucket
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -77,6 +195,7 @@ class ServingConfig:
             raise ValueError(f"unknown scheduler '{self.scheduler}'; choose "
                              f"from {sorted(SCHEDULERS)}")
         Codec.parse(self.codec)  # raises on unknown codec names
+        object.__setattr__(self, "rate_limit", RateLimit.parse(self.rate_limit))
 
 
 @dataclasses.dataclass
@@ -87,6 +206,7 @@ class ServiceStats:
     served_requests: int = 0
     served_samples: int = 0
     rejected_requests: int = 0
+    throttled_requests: int = 0  # shed by per-tenant rate limits
     cancelled_requests: int = 0  # queued work shed by close_session
     peak_coalesced: int = 0
 
@@ -112,13 +232,15 @@ class InferenceService:
     def __init__(self, server: Server | list, max_batch: int = 8,
                  max_queue: int = 64,
                  scheduler: str | Scheduler = "fifo",
-                 codec: Codec | int | str = Codec.FP32):
+                 codec: Codec | int | str = Codec.FP32,
+                 rate_limit: RateLimit | tuple | float | None = None):
         if not isinstance(server, Server):
             server = Server(list(server))
         self.scheduler = make_scheduler(scheduler)
         self.config = ServingConfig(max_batch=max_batch, max_queue=max_queue,
                                     scheduler=self.scheduler.name,
-                                    codec=Codec.parse(codec).name.lower())
+                                    codec=Codec.parse(codec).name.lower(),
+                                    rate_limit=RateLimit.parse(rate_limit))
         self.server = server
         self.stats = ServiceStats()
         self.now = 0.0  # virtual clock; advanced by event-driven front-ends
@@ -131,9 +253,10 @@ class InferenceService:
     @classmethod
     def from_config(cls, server: Server | list,
                     config: ServingConfig) -> "InferenceService":
+        """Build a service from a preset-shaped :class:`ServingConfig`."""
         return cls(server, max_batch=config.max_batch,
                    max_queue=config.max_queue, scheduler=config.scheduler,
-                   codec=config.codec)
+                   codec=config.codec, rate_limit=config.rate_limit)
 
     # -- session management ---------------------------------------------
 
@@ -155,14 +278,21 @@ class InferenceService:
                      noise_shape: tuple[int, ...] | None = None,
                      noise_sigma: float = 0.1,
                      channel: Channel | None = None,
-                     codec: Codec | int | str | None = None) -> Session:
+                     codec: Codec | int | str | None = None,
+                     weight: float = 1.0,
+                     rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                     ) -> Session:
         """Register a new tenant from its client-side parts.
 
         ``noise_seed`` (with ``noise_shape``) draws this session its own
         fixed Gaussian map — per-tenant noise without sharing RNG state —
         unless an explicit ``noise`` module is given.  ``codec`` negotiates
         this session's downlink encoding (defaults to the service-wide
-        :attr:`ServingConfig.codec`).
+        :attr:`ServingConfig.codec`).  ``weight`` is the tenant's
+        fair-share weight (consumed by weight-aware schedulers; 0 =
+        best-effort) and ``rate_limit`` its token bucket — omitted, the
+        service-wide default applies; an explicit ``None`` means
+        unlimited.
         """
         if noise is None and noise_seed is not None:
             from repro.core.noise import FixedGaussianNoise
@@ -172,14 +302,38 @@ class InferenceService:
             noise = FixedGaussianNoise(noise_shape, noise_sigma,
                                        rng=new_rng(noise_seed))
         client = Client(head, tail, noise=noise, selector=selector)
-        return self.adopt_session(client, channel=channel, codec=codec)
+        return self.adopt_session(client, channel=channel, codec=codec,
+                                  weight=weight, rate_limit=rate_limit)
 
     def adopt_session(self, client: Client, channel: Channel | None = None,
-                      codec: Codec | int | str | None = None) -> Session:
-        """Register an already-built :class:`Client` as a tenant."""
+                      codec: Codec | int | str | None = None,
+                      weight: float = 1.0,
+                      rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                      ) -> Session:
+        """Register an already-built :class:`Client` as a tenant.
+
+        Args:
+            client: the client-side head/tail/noise/selector bundle.
+            channel: the byte-accounting channel (a fresh one if omitted).
+            codec: downlink codec override (service default if ``None``).
+            weight: fair-share weight for weight-aware schedulers.
+            rate_limit: token-bucket override; omitted applies the
+                service-wide default, explicit ``None`` means unlimited.
+
+        Returns:
+            The opened :class:`Session`; its limiter (if any) starts with
+            a full bucket at the current service clock.
+        """
         codec = Codec.parse(self.config.codec if codec is None else codec)
+        limit = RateLimit.parse(self.config.rate_limit
+                                if rate_limit is _DEFAULT_LIMIT else rate_limit)
+        limiter = RateLimiter(limit, now=self.now) if limit is not None else None
         session = Session(self._next_session_id, client, self, channel=channel,
-                          codec=codec)
+                          codec=codec, weight=weight, limiter=limiter)
+        # Register only after every validation (including the scheduler's
+        # own weight check) has passed, so a failed adopt leaves no live
+        # session behind and never burns/reuses a session id.
+        self.scheduler.set_session_weight(session.session_id, session.weight)
         self._sessions[session.session_id] = session
         self._next_session_id += 1
         return session
@@ -205,19 +359,33 @@ class InferenceService:
     def submit(self, request: UploadRequest) -> int:
         """Enqueue one upload; accounts its framed bytes on the session.
 
-        Raises :class:`BackpressureError` when the bounded queue is full
-        (nothing is transmitted or accounted in that case).  Stamps the
+        Admission control happens before any bytes are accounted, in two
+        layers: the session's token bucket (policy — raises
+        :class:`RateLimitedError`, counted in ``throttled_requests``)
+        and the bounded queue (capacity — raises
+        :class:`BackpressureError`, counted in ``rejected_requests``).
+        A backpressured submit never spends a token.  Stamps the
         request's ``arrival_time`` from the service clock if unset.
         """
         try:
             session = self._sessions[request.session_id]
         except KeyError:
             raise KeyError(f"unknown session id {request.session_id}") from None
+        limiter = session.limiter
+        if limiter is not None and limiter.available(self.now) + 1e-9 < 1.0:
+            self.stats.throttled_requests += 1
+            raise RateLimitedError(
+                f"session {session.session_id} exceeded its rate limit "
+                f"({limiter.limit.rate_per_s:g} req/s, burst "
+                f"{limiter.limit.burst:g}); retry in "
+                f"{limiter.seconds_until():.3f}s")
         if self.scheduler.pending >= self.config.max_queue:
             self.stats.rejected_requests += 1
             raise BackpressureError(
                 f"service queue full ({self.config.max_queue} pending); "
                 f"retry after a tick")
+        if limiter is not None:
+            limiter.try_acquire(self.now)  # refilled above: always succeeds
         if request.arrival_time is None:
             request.arrival_time = self.now
         session.channel.send_up(request)

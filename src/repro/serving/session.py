@@ -11,6 +11,8 @@ and all N feature maps down.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
@@ -30,15 +32,28 @@ class Session:
     service narrows this session's :class:`FeatureResponse` payloads with
     it, and :meth:`result` widens them back before the private selector
     and tail run.
+
+    ``weight`` is the tenant's negotiated fair-share weight (consumed by
+    weight-aware schedulers; 0 marks a best-effort tenant) and
+    ``limiter`` its token bucket, enforced by the service at ``submit``
+    time.  Both live for exactly this session: closing it drops the
+    bucket, so no tokens leak into a later session.
     """
 
     def __init__(self, session_id: int, client: Client, service,
                  channel: Channel | None = None,
-                 codec: Codec = Codec.FP32):
+                 codec: Codec = Codec.FP32,
+                 weight: float = 1.0,
+                 limiter=None):
         self.session_id = session_id
         self.client = client
         self.channel = channel if channel is not None else Channel()
         self.codec = Codec.parse(codec)
+        self.weight = float(weight)
+        if not (self.weight >= 0 and math.isfinite(self.weight)):
+            raise ValueError(
+                f"session weight must be finite and >= 0, got {weight}")
+        self.limiter = limiter
         self._service = service
         self._next_request_id = 0
         self._responses: dict[int, FeatureResponse] = {}
@@ -72,10 +87,10 @@ class Session:
         """Encode ``images`` client-side and enqueue the upload.
 
         Returns the request id to :meth:`result` on later.  Raises
-        :class:`~repro.serving.service.BackpressureError` (without
-        transmitting anything) when the service queue is full.
-        ``deadline`` is an absolute service-clock SLO consumed by
-        deadline-aware schedulers.
+        :class:`~repro.serving.service.BackpressureError` (queue full) or
+        :class:`~repro.serving.service.RateLimitedError` (token bucket
+        empty) without transmitting anything.  ``deadline`` is an
+        absolute service-clock SLO consumed by deadline-aware schedulers.
         """
         return self.submit_features(self.encode(images), record=record,
                                     deadline=deadline)
@@ -99,6 +114,7 @@ class Session:
         self._pending.discard(response.request_id)
 
     def has_result(self, request_id: int) -> bool:
+        """Whether a served response for ``request_id`` is waiting."""
         return request_id in self._responses
 
     def take_response(self, request_id: int) -> FeatureResponse | None:

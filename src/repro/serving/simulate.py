@@ -28,7 +28,11 @@ import math
 
 import numpy as np
 
-from repro.serving.service import BackpressureError, InferenceService
+from repro.serving.service import (
+    BackpressureError,
+    InferenceService,
+    RateLimitedError,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,6 +66,7 @@ class TickCost:
     per_request_downlink_s: float = 0.0
 
     def pass_seconds(self, num_samples: int) -> float:
+        """Virtual seconds one stacked pass over ``num_samples`` costs."""
         return self.pass_overhead_s + num_samples * self.per_sample_s
 
     @classmethod
@@ -86,7 +91,13 @@ class TickCost:
 
 @dataclasses.dataclass
 class SimulationReport:
-    """What an arrival trace experienced end to end."""
+    """What an arrival trace experienced end to end.
+
+    Besides the aggregate latency distribution, ``latencies_by_session``
+    keeps each tenant's own latencies, so proportional-share policies
+    (weighted fair scheduling, per-tenant rate limits) are measurable at
+    per-tenant p50/p95 via :meth:`session_percentile`.
+    """
 
     scheduler: str
     latencies_s: list[float]
@@ -94,38 +105,64 @@ class SimulationReport:
     rejected: int    # shed by backpressure at admission
     ticks: int
     makespan_s: float
+    throttled: int = 0  # shed by per-tenant rate limits at admission
+    latencies_by_session: dict[int, list[float]] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def served(self) -> int:
+        """How many arrivals were actually served (not shed)."""
         return len(self.latencies_s)
 
     def percentile(self, q: float) -> float:
+        """The q-th percentile of the aggregate latency distribution."""
         if not self.latencies_s:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies_s), q))
 
+    def session_percentile(self, session_id: int, q: float) -> float:
+        """One tenant's q-th latency percentile (0.0 if it served nothing).
+
+        Args:
+            session_id: the tenant's session id (``Session.session_id``).
+            q: percentile in [0, 100], e.g. 50 or 95.
+        """
+        latencies = self.latencies_by_session.get(session_id)
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), q))
+
     @property
     def p50_s(self) -> float:
+        """Aggregate median latency in seconds."""
         return self.percentile(50)
 
     @property
     def p95_s(self) -> float:
+        """Aggregate 95th-percentile latency in seconds."""
         return self.percentile(95)
 
     @property
     def p99_s(self) -> float:
+        """Aggregate 99th-percentile latency in seconds."""
         return self.percentile(99)
 
     @property
     def violation_rate(self) -> float:
-        total = self.served + self.rejected
-        return (self.violations + self.rejected) / total if total else 0.0
+        """Fraction of admitted-or-rejected arrivals that missed an SLO
+        or were shed (throttled arrivals count as shed: the tenant's own
+        policy, but still traffic the fleet did not serve in time)."""
+        total = self.served + self.rejected + self.throttled
+        return ((self.violations + self.rejected + self.throttled) / total
+                if total else 0.0)
 
     def summary(self) -> str:
+        """One-line human-readable digest of the replay."""
         return (f"{self.scheduler}: {self.served} served in {self.ticks} ticks "
                 f"over {self.makespan_s * 1e3:.1f} ms — p50 {self.p50_s * 1e3:.1f} / "
                 f"p95 {self.p95_s * 1e3:.1f} / p99 {self.p99_s * 1e3:.1f} ms, "
-                f"{self.violations} SLO violations, {self.rejected} rejected")
+                f"{self.violations} SLO violations, {self.rejected} rejected, "
+                f"{self.throttled} throttled")
 
 
 def simulate(service: InferenceService, sessions, trace, cost: TickCost,
@@ -148,7 +185,8 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     session_by_id = {s.session_id: s for s in sessions}
     meta: dict[tuple[int, int], tuple[float, float | None]] = {}
     latencies: list[float] = []
-    violations = rejected = ticks = 0
+    by_session: dict[int, list[float]] = {}
+    violations = rejected = throttled = ticks = 0
     base = service.now  # rebase the trace's epoch; advance_clock never rewinds
     server_free_at = base
     makespan = base
@@ -181,6 +219,9 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                 request_id = session.submit_features(features,
                                                      record=arrival.record,
                                                      deadline=deadline)
+            except RateLimitedError:
+                throttled += 1
+                continue
             except BackpressureError:
                 rejected += 1
                 continue
@@ -202,6 +243,7 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
             key = (response.session_id, response.request_id)
             arrived, deadline = meta.pop(key, (clock, None))
             latencies.append(done - arrived)
+            by_session.setdefault(response.session_id, []).append(done - arrived)
             if deadline is not None and done > deadline:
                 violations += 1
             session = session_by_id.get(response.session_id)
@@ -211,36 +253,85 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     return SimulationReport(scheduler=service.config.scheduler,
                             latencies_s=latencies, violations=violations,
                             rejected=rejected, ticks=ticks,
-                            makespan_s=makespan - base)
+                            makespan_s=makespan - base, throttled=throttled,
+                            latencies_by_session=by_session)
 
 
 # -- trace generators ----------------------------------------------------
 
 
+def _weighted_session_cycle(num_sessions: int, session_weights=None):
+    """Yield session indices forever, proportionally to ``session_weights``.
+
+    Uses smooth weighted round-robin (each step every index gains its
+    weight of credit; the richest index is emitted and pays the total),
+    which interleaves deterministically — a (2, 1) weighting yields
+    ``0, 1, 0, 0, 1, 0, ...`` rather than bursts of one index.  With
+    ``session_weights=None`` this is plain round-robin.
+    """
+    if session_weights is None:
+        index = 0
+        while True:
+            yield index % num_sessions
+            index += 1
+    weights = [float(w) for w in session_weights]
+    if len(weights) != num_sessions:
+        raise ValueError(f"need {num_sessions} session weights, "
+                         f"got {len(weights)}")
+    if any(w < 0 for w in weights) or not any(w > 0 for w in weights):
+        raise ValueError("session weights must be >= 0 with a positive sum")
+    total = sum(weights)
+    credit = [0.0] * num_sessions
+    while True:
+        for i, w in enumerate(weights):
+            credit[i] += w
+        pick = max(range(num_sessions), key=credit.__getitem__)
+        credit[pick] -= total
+        yield pick
+
+
 def bursty_trace(num_sessions: int, bursts: int, burst_size: int,
                  burst_gap_s: float, deadline_s: float | None = None,
-                 jitter_s: float = 0.0, rng=None) -> list[Arrival]:
+                 jitter_s: float = 0.0, rng=None,
+                 session_weights=None) -> list[Arrival]:
     """Synchronised bursts: every ``burst_gap_s``, ``burst_size`` requests
-    land (round-robin across sessions) within ``jitter_s`` of the burst
-    edge — the pathological regime for drain-the-queue FIFO, where fixed
-    request-count groups make the tail of each burst wait many passes."""
+    land within ``jitter_s`` of the burst edge — the pathological regime
+    for drain-the-queue FIFO, where fixed request-count groups make the
+    tail of each burst wait many passes.
+
+    Args:
+        session_weights: per-session offered-load weights; requests in a
+            burst are attributed to sessions proportionally (smooth
+            weighted round-robin, continuing across bursts).  ``None``
+            means plain round-robin — every session submits equally.
+            Pair a (2, 1) trace with a weighted scheduler to measure
+            proportional *service* shares under a proportional load.
+    """
+    cycle = _weighted_session_cycle(num_sessions, session_weights)
     trace = []
     for burst in range(bursts):
         edge = burst * burst_gap_s
-        for i in range(burst_size):
+        for _ in range(burst_size):
             offset = float(rng.uniform(0.0, jitter_s)) if rng is not None and jitter_s else 0.0
             trace.append(Arrival(time=edge + offset,
-                                 session_index=i % num_sessions,
+                                 session_index=next(cycle),
                                  deadline_s=deadline_s))
     return trace
 
 
 def poisson_trace(num_sessions: int, num_requests: int, rate_hz: float,
-                  deadline_s: float | None = None, rng=None) -> list[Arrival]:
-    """Memoryless arrivals at ``rate_hz`` aggregate across all sessions."""
+                  deadline_s: float | None = None, rng=None,
+                  session_weights=None) -> list[Arrival]:
+    """Memoryless arrivals at ``rate_hz`` aggregate across all sessions.
+
+    ``session_weights`` splits the aggregate stream across sessions
+    proportionally (smooth weighted round-robin); ``None`` round-robins
+    equally.
+    """
     rng = rng if rng is not None else np.random.default_rng(0)
+    cycle = _weighted_session_cycle(num_sessions, session_weights)
     gaps = rng.exponential(1.0 / rate_hz, size=num_requests)
     times = np.cumsum(gaps)
-    return [Arrival(time=float(t), session_index=int(i % num_sessions),
+    return [Arrival(time=float(t), session_index=next(cycle),
                     deadline_s=deadline_s)
-            for i, t in enumerate(times)]
+            for t in times]
