@@ -50,7 +50,10 @@ from repro.ci import Server  # noqa: E402
 from repro.ci.pipeline import Client  # noqa: E402
 from repro.serving import (  # noqa: E402
     DeadlineScheduler,
+    FaultInjector,
+    FaultPlan,
     InferenceService,
+    RetryPolicy,
     TickCost,
     bursty_trace,
     simulate,
@@ -297,6 +300,81 @@ def _codec_downlink(bodies, features, num_sessions) -> dict:
     }
 
 
+CHAOS_PLAN = FaultPlan(corrupt_rate=0.02, truncate_rate=0.015,
+                       drop_rate=0.015, delay_rate=0.1, delay_s=0.002,
+                       tick_failures_at=(2,))
+CHAOS_RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.002,
+                          multiplier=2.0, max_delay_s=0.05, jitter=0.1,
+                          timeout_s=0.06)
+
+
+def _chaos_replay(bodies, features, num_sessions, faults=None) -> dict:
+    """One bursty replay; with ``faults`` the wire and the ticks misbehave."""
+    service, sessions = _make_policy_service(bodies, "fifo", num_sessions)
+    service.faults = faults
+    cost = TickCost(pass_overhead_s=0.010, per_sample_s=0.001)
+    trace = bursty_trace(num_sessions=num_sessions, bursts=4, burst_size=12,
+                         burst_gap_s=0.08)
+    report = simulate(service, sessions, trace, cost,
+                      default_features=features,
+                      retry=CHAOS_RETRY if faults is not None else None)
+    return {
+        "submitted": report.submitted,
+        "served": report.served,
+        "goodput_rps": report.goodput_rps,
+        "p95_ms": report.p95_s * 1e3,
+        "makespan_ms": report.makespan_s * 1e3,
+        "retries": report.retries,
+        "tick_failures": report.tick_failures,
+        "terminal_counts": report.terminal_counts,
+        "conservation_ok": report.conservation_ok,
+        "fault_stats": faults.stats.as_dict() if faults is not None else None,
+    }
+
+
+def run_chaos_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
+                        spatial=SPATIAL, seed=0) -> dict:
+    """Resilience record: goodput under ~5% frame faults plus one injected
+    mid-run tick crash, against the fault-free baseline of the same trace."""
+    rng = np.random.default_rng(2)
+    features = rng.random((REQUEST_BATCH, width, spatial, spatial),
+                          dtype=np.float32)
+    bodies = build_bodies(num_nets, width)
+    baseline = _chaos_replay(bodies, features, num_sessions)
+    chaos = _chaos_replay(bodies, features, num_sessions,
+                          faults=FaultInjector(CHAOS_PLAN, seed=seed))
+    return {
+        "benchmark": "serving_chaos",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_nets": num_nets,
+        "num_sessions": num_sessions,
+        "width": width,
+        "spatial": spatial,
+        "seed": seed,
+        "frame_fault_rate": CHAOS_PLAN.frame_fault_rate,
+        "baseline": baseline,
+        "chaos": chaos,
+        "goodput_ratio": (chaos["goodput_rps"] / baseline["goodput_rps"]
+                          if baseline["goodput_rps"] > 0 else 0.0),
+    }
+
+
+def print_chaos_record(record: dict) -> None:
+    base, chaos = record["baseline"], record["chaos"]
+    print(f"\nchaos replay (N={record['num_nets']} bodies, "
+          f"S={record['num_sessions']} sessions, "
+          f"{record['frame_fault_rate'] * 100:.0f}% frame faults + "
+          f"tick crash, seed {record['seed']})")
+    print(f"{'':>10}  {'served':>6}  {'goodput [r/s]':>13}  {'p95 [ms]':>9}  "
+          f"{'retries':>7}  {'conserved':>9}")
+    for name, row in (("baseline", base), ("chaos", chaos)):
+        print(f"{name:>10}  {row['served']:>6}  {row['goodput_rps']:>13.1f}  "
+              f"{row['p95_ms']:>9.1f}  {row['retries']:>7}  "
+              f"{str(row['conservation_ok']):>9}")
+    print(f"goodput under faults: {record['goodput_ratio']:.2f}x fault-free; "
+          f"terminal states {chaos['terminal_counts']}")
+
+
 def run_scheduler_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
                             spatial=SPATIAL, requests_per_session=4,
                             codec_batch=8, repeats: int = 5) -> dict:
@@ -420,6 +498,25 @@ def test_scheduler_comparison():
         f"above the per-map quantisation bound {bound:.2e}")
 
 
+def test_chaos_resilience():
+    """Acceptance bars for fault tolerance: goodput under ~5% injected
+    frame faults plus a mid-run tick crash stays ≥ 0.85x the fault-free
+    baseline of the same trace, and *every* submitted request — baseline
+    and chaos alike — ends in exactly one terminal state."""
+    record = run_chaos_benchmark()
+    write_record(record)
+    print_chaos_record(record)
+    assert record["baseline"]["conservation_ok"]
+    assert record["chaos"]["conservation_ok"], (
+        f"requests leaked without a terminal state under faults: "
+        f"{record['chaos']['terminal_counts']}")
+    assert record["chaos"]["tick_failures"] >= 1, \
+        "the injected tick crash never fired"
+    assert record["goodput_ratio"] >= 0.85, (
+        f"goodput under faults collapsed to "
+        f"{record['goodput_ratio']:.2f}x fault-free (< 0.85x)")
+
+
 if __name__ == "__main__":
     rec = run_benchmark()
     out = write_record(rec)
@@ -427,4 +524,7 @@ if __name__ == "__main__":
     sched = run_scheduler_benchmark()
     write_record(sched)
     print_scheduler_record(sched)
+    chaos = run_chaos_benchmark()
+    write_record(chaos)
+    print_chaos_record(chaos)
     print(f"\nrecords written to {out}")

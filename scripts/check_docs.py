@@ -28,6 +28,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SERVING_MODULES = (
     "repro.serving",
+    "repro.serving.errors",
+    "repro.serving.faults",
+    "repro.serving.overload",
     "repro.serving.protocol",
     "repro.serving.scheduler",
     "repro.serving.service",

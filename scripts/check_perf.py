@@ -20,6 +20,11 @@ benchmarks live in ``benchmarks/``):
   weighted fair scheduler must deliver the configured 2:1 tenant shares
   within 15% on the contended trace, and the negotiated codecs must cut
   downlink bytes by >= 1.9x (fp16) and >= 3.5x (int8).
+* **chaos** — goodput under ~5% injected frame faults plus a mid-run
+  tick crash must stay >= 0.85x the fault-free baseline of the same
+  bursty trace, and every submitted request (chaos and baseline alike)
+  must end in exactly one terminal state (the conservation invariant
+  ``SimulationReport.conservation_ok`` verifies per replay).
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -162,9 +167,36 @@ def check_schedulers() -> list[str]:
     return measure_with_retry(measure, "scheduler")
 
 
+def check_chaos() -> list[str]:
+    """Resilience gate: faults may cost tail latency, never correctness.
+
+    The replay is fully deterministic (seeded injector, virtual clock),
+    so this gate needs no noise-tolerant retry: a failure is a real
+    regression in the fault-tolerance path, not scheduler jitter.
+    """
+    bench = load_bench("bench_serving")
+    record = bench.run_chaos_benchmark()
+    bench.write_record(record)
+    bench.print_chaos_record(record)
+    failures = []
+    for name in ("baseline", "chaos"):
+        if not record[name]["conservation_ok"]:
+            failures.append(
+                f"chaos: {name} replay leaked requests without a terminal "
+                f"state: {record[name]['terminal_counts']}")
+    if record["chaos"]["tick_failures"] < 1:
+        failures.append("chaos: the injected tick crash never fired")
+    if record["goodput_ratio"] < 0.85:
+        failures.append(
+            f"chaos: goodput under {record['frame_fault_rate'] * 100:.0f}% "
+            f"frame faults is {record['goodput_ratio']:.2f}x fault-free "
+            f"(< 0.85x)")
+    return failures
+
+
 def main() -> int:
     failures = (check_ensemble() + check_attack() + check_serving()
-                + check_schedulers())
+                + check_schedulers() + check_chaos())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
@@ -175,7 +207,8 @@ def main() -> int:
           "coalesced serving >= sequential for S >= 4, "
           "fair-share within 10% of FIFO, deadline p95 < FIFO p95, "
           "weighted 2:1 shares within 15%, "
-          "fp16 downlink >= 1.9x and int8 >= 3.5x smaller")
+          "fp16 downlink >= 1.9x and int8 >= 3.5x smaller, "
+          "chaos goodput >= 0.85x fault-free with request conservation")
     return 0
 
 

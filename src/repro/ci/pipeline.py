@@ -88,6 +88,9 @@ class Server:
         self.observed_features: list[np.ndarray] = []
         self.backend = "looped"
         self._stacked: StackedBodies | None = None
+        # Lazily-built fused engines over body *prefixes* (bodies[:k]) —
+        # the overload controller's shrunken-ensemble passes reuse them.
+        self._subset_cache: dict[int, StackedBodies | None] = {}
         # True when a train-mode looped pass has mutated the bodies (BN
         # running statistics) since the mirror last synced.
         self._stacked_stale = False
@@ -99,19 +102,40 @@ class Server:
 
     def sync(self) -> "Server":
         """Refresh the stacked engine after the bodies' weights changed."""
+        self._subset_cache.clear()  # subset mirrors rebuild from fresh weights
         if self._stacked is not None:
             self._stacked.sync_from(self.bodies)
             self._stacked.train(self.bodies[0].training)
             self._stacked_stale = False
         return self
 
-    def compute(self, features: np.ndarray, record: bool = False) -> list[np.ndarray]:
+    def _subset_engine(self, k: int) -> StackedBodies | None:
+        """The fused engine over ``bodies[:k]``, built lazily (or ``None``
+        when the prefix cannot be stacked and must run the loop)."""
+        if self.backend != "batched" or k < 2:
+            return None
+        if self._stacked_stale:
+            self.sync()  # refresh mirrors before building from the bodies
+        if k not in self._subset_cache:
+            self._subset_cache[k] = StackedBodies.try_build(self.bodies[:k])
+        return self._subset_cache[k]
+
+    def compute(self, features: np.ndarray, record: bool = False,
+                num_bodies: int | None = None) -> list[np.ndarray]:
         """Run every body on the uploaded features and return all outputs.
 
         The uploaded buffer is only copied on the (rare) recording path —
         the common ``record=False`` serve path wraps it once, zero-copy, and
         shares that one tensor across the whole body ensemble.
+
+        ``num_bodies`` restricts the pass to the first ``k`` bodies — the
+        overload controller's shrunken-ensemble degradation — returning
+        ``k`` outputs; fused prefix engines are cached per ``k``.
         """
+        total = len(self.bodies)
+        k = total if num_bodies is None else int(num_bodies)
+        if not 1 <= k <= total:
+            raise ValueError(f"num_bodies must be in [1, {total}], got {k}")
         if record:
             # Snapshot: the buffer belongs to the channel/client and may be
             # reused, while a retained feature map must stay immutable.
@@ -125,21 +149,24 @@ class Server:
             # ``body.train()`` called directly (without sync()) must not
             # leave stale eval-mode semantics being served from the mirror.
             any_training = any(body.training for body in self.bodies)
-            if self._stacked is not None and not any_training:
-                if self._stacked_stale:
-                    # A train-mode pass moved the bodies' BN statistics
-                    # since the last sync; refresh before serving fused.
-                    self.sync()
-                if self._stacked.training:
-                    self._stacked.eval()
-                stacked_out = self._stacked(x).data
-                return [np.ascontiguousarray(stacked_out[i])
-                        for i in range(len(self.bodies))]
             if any_training:
                 # The looped train-mode forward mutates the bodies in
                 # place, so the mirror (if any) no longer matches them.
                 self._stacked_stale = True
-            return [body(x).data for body in self.bodies]
+                return [body(x).data for body in self.bodies[:k]]
+            engine = (self._stacked if k == total and self._stacked is not None
+                      else self._subset_engine(k))
+            if engine is not None:
+                if self._stacked_stale:
+                    # A train-mode pass moved the bodies' BN statistics
+                    # since the last sync; refresh before serving fused.
+                    self.sync()
+                if engine.training:
+                    engine.eval()
+                stacked_out = engine(x).data
+                return [np.ascontiguousarray(stacked_out[i])
+                        for i in range(k)]
+            return [body(x).data for body in self.bodies[:k]]
 
 
 class _SingleSessionPipeline:

@@ -9,7 +9,11 @@ forward, so K waiting requests cost one fused pass instead of K.
 
 * :mod:`repro.serving.protocol` — the typed wire protocol
   (:class:`UploadRequest` / :class:`FeatureResponse`) with real byte
-  serialization, so the channel accounts actual framed payloads;
+  serialization and CRC32 frame checksums, so the channel accounts
+  actual framed payloads and corruption is detected, not propagated;
+* :mod:`repro.serving.errors` — the :class:`ServingError` hierarchy and
+  the :class:`RequestState` lifecycle every submitted request traverses
+  (exactly one terminal state per request — the conservation invariant);
 * :mod:`repro.serving.session` — per-client :class:`Session` objects:
   own channel statistics, private selector, optional per-session noise;
 * :mod:`repro.serving.service` — the :class:`InferenceService`: a
@@ -19,17 +23,46 @@ forward, so K waiting requests cost one fused pass instead of K.
   (:class:`FifoScheduler`, :class:`FairShareScheduler`,
   :class:`WeightedFairScheduler`, :class:`DeadlineScheduler`) the service
   delegates group formation to;
+* :mod:`repro.serving.faults` — seeded deterministic fault injection
+  (:class:`FaultInjector`) and client-side :class:`RetryPolicy` backoff;
+* :mod:`repro.serving.overload` — the graceful-degradation ladder
+  (:class:`OverloadController`): shed best-effort tenants, narrow the
+  downlink codec, shrink the served ensemble — with hysteresis;
 * :mod:`repro.serving.simulate` — an event-driven virtual-clock front-end
-  replaying arrival-time traces with deadline-aware tick triggering and
-  reporting p50/p95/p99 latency plus SLO violations.
+  replaying arrival-time traces (with faults, retries and mid-trace
+  disconnects) and reporting latency percentiles, SLO violations and
+  per-replay request conservation.
 
 The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
 """
 
+from repro.serving.errors import (
+    TERMINAL_STATES,
+    BackpressureError,
+    DeadlineExceededError,
+    ProtocolError,
+    RateLimitedError,
+    RequestCancelledError,
+    RequestState,
+    ServingError,
+    TickFailedError,
+    UnknownSessionError,
+)
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+    is_serving_error,
+)
+from repro.serving.overload import (
+    LADDER,
+    OverloadController,
+    OverloadPolicy,
+)
 from repro.serving.protocol import (
     Codec,
     FeatureResponse,
-    ProtocolError,
     UploadRequest,
     WIRE_VERSION,
 )
@@ -43,10 +76,8 @@ from repro.serving.scheduler import (
     make_scheduler,
 )
 from repro.serving.service import (
-    BackpressureError,
     InferenceService,
     RateLimit,
-    RateLimitedError,
     RateLimiter,
     ServiceStats,
     ServingConfig,
@@ -65,26 +96,41 @@ __all__ = [
     "Arrival",
     "BackpressureError",
     "Codec",
+    "DeadlineExceededError",
     "DeadlineScheduler",
     "FairShareScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "FeatureResponse",
     "FifoScheduler",
     "InferenceService",
+    "LADDER",
+    "OverloadController",
+    "OverloadPolicy",
     "ProtocolError",
     "RateLimit",
     "RateLimitedError",
     "RateLimiter",
+    "RequestCancelledError",
+    "RequestState",
+    "RetryPolicy",
     "SCHEDULERS",
     "Scheduler",
     "ServiceStats",
     "ServingConfig",
+    "ServingError",
     "Session",
     "SimulationReport",
+    "TERMINAL_STATES",
     "TickCost",
+    "TickFailedError",
+    "UnknownSessionError",
     "UploadRequest",
     "WIRE_VERSION",
     "WeightedFairScheduler",
     "bursty_trace",
+    "is_serving_error",
     "make_scheduler",
     "poisson_trace",
     "simulate",

@@ -19,7 +19,8 @@ a fixed 64-byte little-endian header followed by the raw array bytes::
          6     2  message kind (1 = upload, 2 = response)
          8     8  session id (uint64)
         16     8  request id (uint64)
-        24     2  flags (bit 0: record / attack-capture consent)
+        24     2  flags (bit 0: record / attack-capture consent;
+                  bit 1: response served from a degraded ensemble)
         26     2  array index within the message
         28     2  array count of the message
         30     2  dtype code (see _DTYPE_CODES)
@@ -28,7 +29,8 @@ a fixed 64-byte little-endian header followed by the raw array bytes::
         36    24  shape, 6 x uint32 (unused dims zero; an int8-quantised
                   frame carries its float32 scale / offset bits in
                   slots 4 and 5, so it may use at most 4 real dims)
-        60     4  padding (zero)
+        60     4  CRC32 of the first 60 header bytes + the array payload
+                  (wire version 3; this field was zero padding in v2)
 
 The header size deliberately equals the channel's historical
 ``HEADER_BYTES`` framing constant, so ``wire_nbytes()`` — the exact length
@@ -56,29 +58,48 @@ non-identity codecs exist today:
   the reconstruction-relevant signal degrades before classification does.
 
 Uplink frames always travel at the client's native dtype (codec 0).
+
+Wire hardening (version 3)
+--------------------------
+Version 3 spends the formerly-reserved padding word on a **CRC32
+checksum** of each frame (the first 60 header bytes plus the raw array
+payload).  A truncated, bit-flipped or otherwise mangled frame therefore
+fails parsing with a typed
+:class:`~repro.serving.errors.ProtocolError` — never a raw
+``struct.error`` / ``ValueError`` / a silently wrong-shaped array — which
+is the contract the fault-injection layer (:mod:`repro.serving.faults`)
+and the protocol fuzz tests hold ``from_bytes`` to.  The header stays 64
+bytes, so ``wire_nbytes()`` and the historical byte accounting are
+unchanged.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import math
 import struct
+import zlib
 
 import numpy as np
 
 from repro.ci.channel import HEADER_BYTES
+from repro.serving.errors import ProtocolError
 
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 _MAGIC = b"ENSB"
 _KIND_UPLOAD = 1
 _KIND_RESPONSE = 2
 _FLAG_RECORD = 1
+_FLAG_DEGRADED = 2
 _MAX_NDIM = 6
 
 # magic, version, kind, session, request, flags, index, count, dtype, ndim,
-# codec, shape[6], pad.
-_FRAME = struct.Struct("<4s2H2Q6H6I4x")
-assert _FRAME.size == HEADER_BYTES, "frame header must match channel framing"
+# codec, shape[6] — the 60 checksummed bytes; the CRC32 itself follows.
+_FRAME = struct.Struct("<4s2H2Q6H6I")
+_CRC = struct.Struct("<I")
+assert _FRAME.size + _CRC.size == HEADER_BYTES, \
+    "frame header must match channel framing"
 
 
 class Codec(enum.IntEnum):
@@ -255,10 +276,6 @@ _DTYPE_CODES: dict[np.dtype, int] = {
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
 
-class ProtocolError(ValueError):
-    """Raised when bytes on the wire do not parse as a valid message."""
-
-
 def _frame_nbytes(arrays: list[np.ndarray]) -> int:
     return sum(arr.nbytes + HEADER_BYTES for arr in arrays)
 
@@ -298,11 +315,16 @@ def _pack(kind: int, session_id: int, request_id: int, flags: int,
             scale, offset = qparams
             shape[_MAX_NDIM - 2] = _float_bits(scale)
             shape[_MAX_NDIM - 1] = _float_bits(offset)
-        chunks.append(_FRAME.pack(_MAGIC, WIRE_VERSION, kind, session_id,
-                                  request_id, flags, index, len(arrays),
-                                  _DTYPE_CODES[arr.dtype], arr.ndim,
-                                  int(codec), *shape))
-        chunks.append(np.ascontiguousarray(arr).tobytes())
+        head = _FRAME.pack(_MAGIC, WIRE_VERSION, kind, session_id,
+                           request_id, flags, index, len(arrays),
+                           _DTYPE_CODES[arr.dtype], arr.ndim,
+                           int(codec), *shape)
+        payload = np.ascontiguousarray(arr).tobytes()
+        # Per-frame CRC32 over the 60 header bytes + the payload: a flipped
+        # bit anywhere in the frame fails the parse with a ProtocolError.
+        chunks.append(head)
+        chunks.append(_CRC.pack(zlib.crc32(payload, zlib.crc32(head))))
+        chunks.append(payload)
     return b"".join(chunks)
 
 
@@ -320,12 +342,14 @@ def _unpack(data: bytes, expected_kind: int
     arrays: list[np.ndarray] = []
     quant: list[tuple[float, float] | None] = []
     while offset < len(data):
-        if len(data) - offset < _FRAME.size:
+        if len(data) - offset < HEADER_BYTES:
             raise ProtocolError("truncated frame header")
         (magic, version, kind, session_id, request_id, flags, index,
          array_count, dtype_code, ndim, codec_code, *shape6) = _FRAME.unpack_from(
             data, offset)
-        offset += _FRAME.size
+        (stored_crc,) = _CRC.unpack_from(data, offset + _FRAME.size)
+        header_bytes = data[offset:offset + _FRAME.size]
+        offset += HEADER_BYTES
         if magic != _MAGIC:
             raise ProtocolError(f"bad magic {magic!r}")
         if version != WIRE_VERSION:
@@ -357,11 +381,18 @@ def _unpack(data: bytes, expected_kind: int
                           _bits_float(shape6[_MAX_NDIM - 1])))
         else:
             quant.append(None)
-        nbytes = int(np.prod(shape)) * dtype.itemsize
+        # Element counts multiply in Python ints: 6 garbage uint32 shape
+        # slots can overflow a fixed-width product into a negative nbytes,
+        # which would slip past the length check below.
+        count_elems = math.prod(shape)
+        nbytes = count_elems * dtype.itemsize
         if len(data) - offset < nbytes:
             raise ProtocolError("truncated array payload")
-        arr = np.frombuffer(data, dtype=dtype, count=int(np.prod(shape)),
-                            offset=offset).reshape(shape).copy()
+        payload = data[offset:offset + nbytes]
+        if zlib.crc32(payload, zlib.crc32(header_bytes)) != stored_crc:
+            raise ProtocolError("frame checksum mismatch")
+        arr = np.frombuffer(payload, dtype=dtype,
+                            count=count_elems).reshape(shape).copy()
         arrays.append(arr)
         offset += nbytes
     if header is None:
@@ -382,9 +413,12 @@ class UploadRequest:
     ``arrival_time`` and ``deadline`` are *scheduling metadata*, not wire
     fields: the service stamps ``arrival_time`` from its virtual clock at
     admission, and a deadline-aware scheduler reads ``deadline`` (an
-    absolute clock value) to order and group requests.  ``from_bytes``
-    leaves both unset — timestamps belong to the receiving scheduler, not
-    the sender.
+    absolute clock value) to order and group requests.  ``attempts``
+    counts the failed stacked passes this request has ridden through (a
+    crashed tick re-queues its group up to ``ServingConfig.tick_retries``
+    times before the request fails terminally).  ``from_bytes`` leaves
+    all three unset — they belong to the receiving scheduler, not the
+    sender.
     """
 
     session_id: int
@@ -393,6 +427,7 @@ class UploadRequest:
     record: bool = False
     arrival_time: float | None = None
     deadline: float | None = None
+    attempts: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -439,6 +474,12 @@ class FeatureResponse:
     outputs (``None`` for parameter-free codecs); on the wire they travel
     inside each map's own frame header.  Build narrowed responses with
     :meth:`encode` and read compute-dtype maps back with :meth:`decoded`.
+
+    ``degraded`` (wire flag bit 1) marks a response served from a
+    shrunken ensemble subset by an overloaded service: positions outside
+    the served subset alias served maps cyclically, so the client knows
+    its accuracy was traded for fleet capacity (see
+    :mod:`repro.serving.overload`).
     """
 
     session_id: int
@@ -446,17 +487,21 @@ class FeatureResponse:
     outputs: list[np.ndarray]
     codec: Codec = Codec.FP32
     quant: "list[tuple[float, float] | None] | None" = None
+    degraded: bool = False
 
     @classmethod
     def encode(cls, session_id: int, request_id: int,
                outputs: list[np.ndarray],
-               codec: "Codec | int | str | None" = Codec.FP32) -> "FeatureResponse":
+               codec: "Codec | int | str | None" = Codec.FP32,
+               degraded: bool = False) -> "FeatureResponse":
         """Apply the session's negotiated codec to fresh server outputs.
 
         Args:
             session_id / request_id: the request being answered.
             outputs: the N compute-dtype (float32) feature maps.
             codec: the session's negotiated downlink codec spec.
+            degraded: whether an overloaded service served this response
+                from a reduced ensemble subset (sets wire flag bit 1).
 
         Returns:
             A response holding the wire-form (narrowed / quantised)
@@ -466,7 +511,8 @@ class FeatureResponse:
         encoded = [codec.encode_array(arr) for arr in outputs]
         params = [q for _, q in encoded]
         return cls(session_id, request_id, [arr for arr, _ in encoded], codec,
-                   params if any(q is not None for q in params) else None)
+                   params if any(q is not None for q in params) else None,
+                   degraded=degraded)
 
     def decoded(self) -> list[np.ndarray]:
         """The client-side view: wire maps decoded back to float32."""
@@ -485,13 +531,15 @@ class FeatureResponse:
 
     def to_bytes(self) -> bytes:
         """Serialise to wire frames; inverse of :meth:`from_bytes`."""
-        return _pack(_KIND_RESPONSE, self.session_id, self.request_id, 0,
+        flags = _FLAG_DEGRADED if self.degraded else 0
+        return _pack(_KIND_RESPONSE, self.session_id, self.request_id, flags,
                      list(self.outputs), codec=self.codec, quant=self.quant)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FeatureResponse":
         """Parse framed response bytes; inverse of :meth:`to_bytes`."""
-        session_id, request_id, _flags, codec, arrays, quant = _unpack(
+        session_id, request_id, flags, codec, arrays, quant = _unpack(
             data, _KIND_RESPONSE)
         return cls(session_id, request_id, arrays, codec,
-                   quant if any(q is not None for q in quant) else None)
+                   quant if any(q is not None for q in quant) else None,
+                   degraded=bool(flags & _FLAG_DEGRADED))

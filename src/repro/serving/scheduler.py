@@ -96,8 +96,24 @@ class Scheduler:
         """
         raise NotImplementedError
 
-    def cancel_session(self, session_id: int) -> int:
-        """Drop a closed tenant's queued requests; returns how many."""
+    def cancel_session(self, session_id: int) -> list[UploadRequest]:
+        """Drop a closed tenant's queued requests; returns them.
+
+        The service marks each returned request terminally ``CANCELLED``
+        (exactly once), so callers get the requests themselves rather
+        than a bare count.
+        """
+        raise NotImplementedError
+
+    def drop_expired(self, now: float) -> list[UploadRequest]:
+        """Shed queued requests whose explicit ``deadline`` passed.
+
+        Called by the service at the top of each tick when
+        ``ServingConfig.shed_expired`` is on; only *explicit* per-request
+        deadlines expire (a deadline scheduler's implicit SLO target is a
+        latency goal, not an expiry).  Returns the shed requests so the
+        service can mark them terminally ``EXPIRED``.
+        """
         raise NotImplementedError
 
     def set_session_weight(self, session_id: int, weight: float) -> None:
@@ -153,11 +169,20 @@ class FifoScheduler(Scheduler):
             group.append(self._queue.popleft())
         return group
 
-    def cancel_session(self, session_id: int) -> int:
-        kept = [r for r in self._queue if r.session_id != session_id]
-        cancelled = len(self._queue) - len(kept)
-        self._queue = collections.deque(kept)
+    def cancel_session(self, session_id: int) -> list[UploadRequest]:
+        cancelled = [r for r in self._queue if r.session_id == session_id]
+        self._queue = collections.deque(
+            r for r in self._queue if r.session_id != session_id)
         return cancelled
+
+    def drop_expired(self, now: float) -> list[UploadRequest]:
+        expired = [r for r in self._queue
+                   if r.deadline is not None and r.deadline < now]
+        if expired:
+            self._queue = collections.deque(
+                r for r in self._queue
+                if r.deadline is None or r.deadline >= now)
+        return expired
 
 
 class FairShareScheduler(Scheduler):
@@ -216,15 +241,27 @@ class FairShareScheduler(Scheduler):
                     progressed = True
         return group
 
-    def cancel_session(self, session_id: int) -> int:
+    def cancel_session(self, session_id: int) -> list[UploadRequest]:
         queue = self._queues.pop(session_id, None)
         if queue is None:
-            return 0
+            return []
         try:
             self._rotation.remove(session_id)
         except ValueError:
             pass
-        return len(queue)
+        return list(queue)
+
+    def drop_expired(self, now: float) -> list[UploadRequest]:
+        expired: list[UploadRequest] = []
+        for queue in self._queues.values():
+            kept = [r for r in queue
+                    if r.deadline is None or r.deadline >= now]
+            if len(kept) != len(queue):
+                expired.extend(r for r in queue
+                               if r.deadline is not None and r.deadline < now)
+                queue.clear()
+                queue.extend(kept)
+        return expired
 
 
 class WeightedFairScheduler(Scheduler):
@@ -372,7 +409,7 @@ class WeightedFairScheduler(Scheduler):
                 barren = 0
         return group
 
-    def cancel_session(self, session_id: int) -> int:
+    def cancel_session(self, session_id: int) -> list[UploadRequest]:
         """Drop the tenant's queue, rotation slot, weight and deficit."""
         queue = self._queues.pop(session_id, None)
         try:
@@ -383,7 +420,25 @@ class WeightedFairScheduler(Scheduler):
         self._deficits.pop(session_id, None)
         if self._open_visit == session_id:
             self._open_visit = None
-        return len(queue) if queue is not None else 0
+        return list(queue) if queue is not None else []
+
+    def drop_expired(self, now: float) -> list[UploadRequest]:
+        """Shed explicit-deadline requests past ``now`` (no banked credit:
+        a queue drained by expiry loses its deficit like any drain)."""
+        expired: list[UploadRequest] = []
+        for session_id, queue in self._queues.items():
+            kept = [r for r in queue
+                    if r.deadline is None or r.deadline >= now]
+            if len(kept) != len(queue):
+                expired.extend(r for r in queue
+                               if r.deadline is not None and r.deadline < now)
+                queue.clear()
+                queue.extend(kept)
+                if not queue:
+                    self._deficits.pop(session_id, None)
+                    if self._open_visit == session_id:
+                        self._open_visit = None
+        return expired
 
 
 class DeadlineScheduler(Scheduler):
@@ -495,12 +550,23 @@ class DeadlineScheduler(Scheduler):
         latest_safe_start = earliest - self._estimate_pass_s(samples)
         return max(now, latest_safe_start)
 
-    def cancel_session(self, session_id: int) -> int:
-        kept = [item for item in self._items
-                if item[2].session_id != session_id]
-        cancelled = len(self._items) - len(kept)
-        self._items = kept
+    def cancel_session(self, session_id: int) -> list[UploadRequest]:
+        cancelled = [item[2] for item in self._items
+                     if item[2].session_id == session_id]
+        self._items = [item for item in self._items
+                       if item[2].session_id != session_id]
         return cancelled
+
+    def drop_expired(self, now: float) -> list[UploadRequest]:
+        """Shed requests whose *explicit* deadline passed (the implicit
+        ``target_latency_s`` SLO orders the queue but never expires)."""
+        expired = [item[2] for item in self._items
+                   if item[2].deadline is not None and item[2].deadline < now]
+        if expired:
+            self._items = [item for item in self._items
+                           if item[2].deadline is None
+                           or item[2].deadline >= now]
+        return expired
 
 
 SCHEDULERS["fair-share"] = FairShareScheduler  # ergonomic aliases

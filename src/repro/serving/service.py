@@ -51,6 +51,22 @@ control happens ahead of transmission — and bumps the service's
 ``rejected_requests`` counter so load shedding is observable.  Closing a
 session cancels its queued (already-transmitted) requests and counts them
 in ``cancelled_requests``.
+
+Fault tolerance
+---------------
+Every submitted request ends in exactly one typed terminal
+:class:`~repro.serving.errors.RequestState` (the conservation invariant
+the simulator checks).  A pluggable
+:class:`~repro.serving.faults.FaultInjector` exercises the wire (frames
+really are mangled and re-parsed through the CRC32-hardened protocol)
+and the tick loop (a crashed stacked pass re-queues its group up to
+``tick_retries`` times, then fails the riders terminally).  Expired
+explicit deadlines are shed pre-schedule when ``shed_expired`` is on,
+idempotent retries are deduplicated against the in-queue id set, and an
+optional :class:`~repro.serving.overload.OverloadController` walks the
+degradation ladder (shed best-effort tenants → narrow the codec →
+shrink the ensemble) under sustained queue pressure — every step
+counted in :class:`ServiceStats` and reversed when pressure clears.
 """
 
 from __future__ import annotations
@@ -61,23 +77,22 @@ import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client, Server
+from repro.serving.errors import (
+    BackpressureError,
+    ProtocolError,
+    RateLimitedError,
+    RequestState,
+    UnknownSessionError,
+)
+from repro.serving.faults import (
+    UPLINK_DROP,
+    UPLINK_OK,
+    FaultInjector,
+)
+from repro.serving.overload import OverloadController, OverloadPolicy
 from repro.serving.protocol import Codec, FeatureResponse, UploadRequest
 from repro.serving.scheduler import SCHEDULERS, Scheduler, make_scheduler
 from repro.serving.session import Session
-
-
-class BackpressureError(RuntimeError):
-    """The service queue is full; the client must retry later."""
-
-
-class RateLimitedError(RuntimeError):
-    """The tenant exhausted its token bucket; retry after tokens refill.
-
-    Raised by :meth:`InferenceService.submit` *before* any bytes are
-    accounted, and counted in ``ServiceStats.throttled_requests`` — a
-    per-tenant policy rejection, distinct from the capacity
-    :class:`BackpressureError`.
-    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -185,12 +200,16 @@ class ServingConfig:
     scheduler: str = "fifo"  # admission/grouping policy (see serving.scheduler)
     codec: str = "fp32"  # default downlink codec sessions negotiate
     rate_limit: RateLimit | None = None  # default per-session token bucket
+    shed_expired: bool = False  # shed explicit-deadline requests pre-schedule
+    tick_retries: int = 1  # crashed-pass re-queues before a request FAILs
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.tick_retries < 0:
+            raise ValueError("tick_retries must be >= 0")
         if self.scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler '{self.scheduler}'; choose "
                              f"from {sorted(SCHEDULERS)}")
@@ -209,6 +228,18 @@ class ServiceStats:
     throttled_requests: int = 0  # shed by per-tenant rate limits
     cancelled_requests: int = 0  # queued work shed by close_session
     peak_coalesced: int = 0
+    expired_requests: int = 0    # shed pre-schedule past their deadline
+    deduped_requests: int = 0    # idempotent retries swallowed service-side
+    corrupt_frames: int = 0      # uplink frames that failed parse / CRC
+    dropped_frames: int = 0      # uplink frames lost on the (faulted) wire
+    tick_failures: int = 0       # stacked passes that crashed mid-flight
+    tick_failure_samples: int = 0  # samples riding crashed passes (cost basis)
+    failed_requests: int = 0     # terminally FAILED (crash retries exhausted)
+    shed_best_effort: int = 0    # weight-0 submits refused under overload
+    degraded_responses: int = 0  # responses narrowed / ensemble-shrunk
+    overload_level: int = 0      # current ladder level (see serving.overload)
+    overload_escalations: int = 0
+    overload_recoveries: int = 0
 
     @property
     def mean_coalesced(self) -> float:
@@ -233,30 +264,50 @@ class InferenceService:
                  max_queue: int = 64,
                  scheduler: str | Scheduler = "fifo",
                  codec: Codec | int | str = Codec.FP32,
-                 rate_limit: RateLimit | tuple | float | None = None):
+                 rate_limit: RateLimit | tuple | float | None = None,
+                 faults: FaultInjector | None = None,
+                 overload: "OverloadController | OverloadPolicy | None" = None,
+                 shed_expired: bool = False,
+                 tick_retries: int = 1):
         if not isinstance(server, Server):
             server = Server(list(server))
         self.scheduler = make_scheduler(scheduler)
         self.config = ServingConfig(max_batch=max_batch, max_queue=max_queue,
                                     scheduler=self.scheduler.name,
                                     codec=Codec.parse(codec).name.lower(),
-                                    rate_limit=RateLimit.parse(rate_limit))
+                                    rate_limit=RateLimit.parse(rate_limit),
+                                    shed_expired=shed_expired,
+                                    tick_retries=tick_retries)
         self.server = server
+        self.faults = faults
+        self.overload = (OverloadController(overload)
+                         if isinstance(overload, OverloadPolicy) else overload)
         self.stats = ServiceStats()
         self.now = 0.0  # virtual clock; advanced by event-driven front-ends
         self._sessions: dict[int, Session] = {}
         self._next_session_id = 1
+        # (session_id, request_id) pairs currently in the scheduler queue:
+        # the dedup set idempotent retries are checked against.  A frame
+        # the fault injector dropped never enters it, so a retry after a
+        # genuine loss is re-queued rather than wrongly swallowed.
+        self._queued_ids: set[tuple[int, int]] = set()
+        self._tick_attempts = 0  # every tick() that formed a group
         # Traffic already accounted by sessions that have since closed —
         # service-level totals must not shrink on tenant churn.
         self._closed_transfer = TransferStats()
 
     @classmethod
-    def from_config(cls, server: Server | list,
-                    config: ServingConfig) -> "InferenceService":
+    def from_config(cls, server: Server | list, config: ServingConfig,
+                    faults: FaultInjector | None = None,
+                    overload: "OverloadController | OverloadPolicy | None" = None,
+                    ) -> "InferenceService":
         """Build a service from a preset-shaped :class:`ServingConfig`."""
         return cls(server, max_batch=config.max_batch,
                    max_queue=config.max_queue, scheduler=config.scheduler,
-                   codec=config.codec, rate_limit=config.rate_limit)
+                   codec=config.codec, rate_limit=config.rate_limit,
+                   faults=faults, overload=overload,
+                   shed_expired=config.shed_expired,
+                   tick_retries=config.tick_retries)
 
     # -- session management ---------------------------------------------
 
@@ -340,13 +391,19 @@ class InferenceService:
 
     def close_session(self, session: Session) -> None:
         """Drop a tenant; its queued requests are cancelled (counted in
-        ``stats.cancelled_requests``), its already-accounted traffic is
-        retained in the service totals."""
+        ``stats.cancelled_requests`` and marked terminally ``CANCELLED``,
+        exactly once), its already-accounted traffic is retained in the
+        service totals."""
         closed = self._sessions.pop(session.session_id, None)
         if closed is not None:
             self._closed_transfer.merge(closed.stats)
-        self.stats.cancelled_requests += self.scheduler.cancel_session(
-            session.session_id)
+        cancelled = self.scheduler.cancel_session(session.session_id)
+        self.stats.cancelled_requests += len(cancelled)
+        for request in cancelled:
+            self._queued_ids.discard((request.session_id, request.request_id))
+            # The session object outlives its registration: mark the state
+            # on it directly so clients holding the handle see CANCELLED.
+            session._resolve(request.request_id, RequestState.CANCELLED)
 
     # -- clock ----------------------------------------------------------
 
@@ -359,21 +416,53 @@ class InferenceService:
     def submit(self, request: UploadRequest) -> int:
         """Enqueue one upload; accounts its framed bytes on the session.
 
-        Admission control happens before any bytes are accounted, in two
-        layers: the session's token bucket (policy — raises
+        Admission control happens before any bytes are accounted:
+        idempotent-retry dedup first (a retry of a request that is still
+        queued — or already served — is swallowed, counted in
+        ``deduped_requests``), then overload shedding of best-effort
+        tenants, then the session's token bucket (policy — raises
         :class:`RateLimitedError`, counted in ``throttled_requests``)
         and the bounded queue (capacity — raises
         :class:`BackpressureError`, counted in ``rejected_requests``).
         A backpressured submit never spends a token.  Stamps the
         request's ``arrival_time`` from the service clock if unset.
+
+        With a :class:`~repro.serving.faults.FaultInjector` plugged in,
+        admitted frames then cross the (faulted) wire: a corrupted or
+        truncated frame is really serialised, mangled and re-parsed — the
+        CRC32-hardened protocol rejects it with a typed
+        :class:`~repro.serving.errors.ProtocolError` and the request is
+        marked ``FAILED`` (a retry with the same id re-enters cleanly); a
+        dropped frame returns normally but never reaches the queue, so
+        only a client-side retry timeout can recover it.
         """
-        try:
-            session = self._sessions[request.session_id]
-        except KeyError:
-            raise KeyError(f"unknown session id {request.session_id}") from None
+        session = self._sessions.get(request.session_id)
+        if session is None:
+            raise UnknownSessionError(
+                f"unknown session id {request.session_id}")
+        key = (request.session_id, request.request_id)
+        if (key in self._queued_ids or session.has_result(request.request_id)
+                or session.request_state(request.request_id)
+                is RequestState.COMPLETED):
+            # Idempotent retry of a request that survived after all: the
+            # retransmission crossed the wire (account it) but must not
+            # enter the queue a second time.
+            self.stats.deduped_requests += 1
+            session.channel.send_up(request)
+            return request.request_id
+        if (self.overload is not None and self.overload.shed_best_effort
+                and session.weight == 0):
+            self.stats.shed_best_effort += 1
+            self.stats.rejected_requests += 1
+            session._resolve(request.request_id, RequestState.REJECTED)
+            raise BackpressureError(
+                f"session {session.session_id} is best-effort (weight 0) "
+                f"and the service is overloaded "
+                f"({self.overload.level_name}); retry when pressure clears")
         limiter = session.limiter
         if limiter is not None and limiter.available(self.now) + 1e-9 < 1.0:
             self.stats.throttled_requests += 1
+            session._resolve(request.request_id, RequestState.THROTTLED)
             raise RateLimitedError(
                 f"session {session.session_id} exceeded its rate limit "
                 f"({limiter.limit.rate_per_s:g} req/s, burst "
@@ -381,6 +470,7 @@ class InferenceService:
                 f"{limiter.seconds_until():.3f}s")
         if self.scheduler.pending >= self.config.max_queue:
             self.stats.rejected_requests += 1
+            session._resolve(request.request_id, RequestState.REJECTED)
             raise BackpressureError(
                 f"service queue full ({self.config.max_queue} pending); "
                 f"retry after a tick")
@@ -389,7 +479,28 @@ class InferenceService:
         if request.arrival_time is None:
             request.arrival_time = self.now
         session.channel.send_up(request)
+        outcome = (self.faults.upload_outcome() if self.faults is not None
+                   else UPLINK_OK)
+        if outcome != UPLINK_OK:
+            if outcome == UPLINK_DROP:
+                self.stats.dropped_frames += 1
+                # Lost on the wire: the client believes it is in flight,
+                # nothing reached the queue, and the dedup set was never
+                # touched — a retry timeout recovers it cleanly.
+                session._resolve(request.request_id, RequestState.QUEUED)
+                return request.request_id
+            blob = self.faults.mangle(request.to_bytes(), outcome)
+            try:
+                UploadRequest.from_bytes(blob)
+            except ProtocolError:
+                self.stats.corrupt_frames += 1
+                session._resolve(request.request_id, RequestState.FAILED)
+                raise
+            # Unreachable under CRC32 framing (every mangle breaks the
+            # checksum), but stay safe: an intact frame proceeds below.
         self.scheduler.enqueue(request)
+        self._queued_ids.add(key)
+        session._resolve(request.request_id, RequestState.QUEUED)
         return request.request_id
 
     def tick(self) -> list[FeatureResponse]:
@@ -400,15 +511,38 @@ class InferenceService:
         all N bodies, splits the stacked outputs back per request and
         delivers each response (through its session's negotiated codec)
         over the session's channel.
+
+        Fault tolerance wraps that hot path on three sides.  Expired
+        requests (``shed_expired``) are shed pre-schedule and marked
+        ``EXPIRED``.  The overload controller observes queue pressure and
+        may shed best-effort tenants, narrow the served codec or shrink
+        the ensemble subset (responses flagged ``degraded``).  A crashed
+        stacked pass — injected by the fault plan or a real exception —
+        re-queues its group up to ``tick_retries`` times before marking
+        the riders terminally ``FAILED``; the tick itself never raises
+        and returns ``[]`` (observable via ``stats.tick_failures``).
         """
+        if self.config.shed_expired:
+            for request in self.scheduler.drop_expired(self.now):
+                self.stats.expired_requests += 1
+                self._finish(request, RequestState.EXPIRED)
+        if self.overload is not None:
+            self.stats.overload_level = self.overload.observe(
+                self.scheduler.pending, self.config.max_queue)
+            self.stats.overload_escalations = self.overload.escalations
+            self.stats.overload_recoveries = self.overload.recoveries
         group = self.scheduler.next_group(self.config.max_batch, now=self.now)
         if not group:
             return []
+        tick_index = self._tick_attempts
+        self._tick_attempts += 1
 
         # Per-request attack capture, in service order: identical to what K
-        # sequential pipeline.infer(record=True) calls would retain.
+        # sequential pipeline.infer(record=True) calls would retain.  Only
+        # first attempts capture — a crashed pass must not duplicate the
+        # retained features when its group rides a retry pass.
         for request in group:
-            if request.record:
+            if request.record and request.attempts == 0:
                 self.server.observed_features.append(
                     np.array(request.features, copy=True))
 
@@ -416,7 +550,24 @@ class InferenceService:
             batch = group[0].features
         else:
             batch = np.concatenate([r.features for r in group], axis=0)
-        outputs = self.server.compute(batch)
+
+        total = self.num_nets
+        num_bodies = (self.overload.num_bodies(total)
+                      if self.overload is not None else total)
+        outputs = None
+        if self.faults is None or not self.faults.tick_fails(tick_index):
+            try:
+                outputs = self.server.compute(batch, num_bodies=num_bodies)
+            except Exception:
+                outputs = None  # a real mid-pass crash: same recovery path
+        if outputs is None:
+            return self._fail_tick(group)
+        degraded_pass = num_bodies < total
+        if degraded_pass:
+            # The client's selector needs all N positions: alias the maps
+            # outside the served subset cyclically onto the k computed
+            # ones, flagged degraded on the wire.
+            outputs = [outputs[i % num_bodies] for i in range(total)]
 
         responses = []
         offset = 0
@@ -425,11 +576,17 @@ class InferenceService:
             outs = [np.ascontiguousarray(out[offset:offset + n])
                     for out in outputs]
             offset += n
+            self._queued_ids.discard((request.session_id, request.request_id))
             session = self._sessions.get(request.session_id)
-            codec = session.codec if session is not None else Codec.FP32
+            negotiated = session.codec if session is not None else Codec.FP32
+            codec = (self.overload.codec_for(negotiated)
+                     if self.overload is not None else negotiated)
+            degraded = degraded_pass or codec is not negotiated
             response = FeatureResponse.encode(request.session_id,
                                               request.request_id, outs,
-                                              codec=codec)
+                                              codec=codec, degraded=degraded)
+            if degraded:
+                self.stats.degraded_responses += 1
             if session is not None:  # session may have closed mid-flight
                 session.channel.send_down(response)
                 session._deliver(response)
@@ -440,6 +597,26 @@ class InferenceService:
         self.stats.served_samples += offset
         self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(group))
         return responses
+
+    def _fail_tick(self, group: list[UploadRequest]) -> list[FeatureResponse]:
+        """Recover a crashed stacked pass: re-queue or fail its riders."""
+        self.stats.tick_failures += 1
+        self.stats.tick_failure_samples += sum(r.batch_size for r in group)
+        for request in group:
+            request.attempts += 1
+            if request.attempts > self.config.tick_retries:
+                self.stats.failed_requests += 1
+                self._finish(request, RequestState.FAILED)
+            else:
+                self.scheduler.enqueue(request)
+        return []
+
+    def _finish(self, request: UploadRequest, state: RequestState) -> None:
+        """Move a queued request to a terminal state, exactly once."""
+        self._queued_ids.discard((request.session_id, request.request_id))
+        session = self._sessions.get(request.session_id)
+        if session is not None:
+            session._resolve(request.request_id, state)
 
     def run_until_idle(self, max_ticks: int = 100_000) -> int:
         """Tick until the queue drains; returns the number of ticks run."""

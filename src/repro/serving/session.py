@@ -17,6 +17,14 @@ import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client
+from repro.serving.errors import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    RequestState,
+    ServingError,
+    TickFailedError,
+)
+from repro.serving.faults import RetryPolicy
 from repro.serving.protocol import Codec, FeatureResponse, UploadRequest
 
 
@@ -58,6 +66,11 @@ class Session:
         self._next_request_id = 0
         self._responses: dict[int, FeatureResponse] = {}
         self._pending: set[int] = set()  # submitted, not yet served
+        # Lifecycle state per request id, written by the service at each
+        # transition; the conservation sweep in simulate() reads it.
+        self._states: dict[int, RequestState] = {}
+        # Deterministic per-session jitter source for retry backoff.
+        self._retry_rng = np.random.default_rng(session_id)
 
     # -- introspection --------------------------------------------------
 
@@ -76,6 +89,19 @@ class Session:
         """Requests submitted but not yet served by a tick."""
         return len(self._pending)
 
+    def request_state(self, request_id: int) -> RequestState | None:
+        """The request's lifecycle state, or ``None`` for an unknown id.
+
+        ``QUEUED`` is the only non-terminal state; every other value is
+        final and set exactly once per lifecycle (a retry of a retryable
+        terminal re-enters ``QUEUED`` and the last state stands).
+        """
+        return self._states.get(request_id)
+
+    def request_states(self) -> dict[int, RequestState]:
+        """A snapshot of every tracked request's lifecycle state."""
+        return dict(self._states)
+
     # -- request side ---------------------------------------------------
 
     def encode(self, images: np.ndarray) -> np.ndarray:
@@ -83,28 +109,73 @@ class Session:
         return self.client.encode(images)
 
     def submit(self, images: np.ndarray, record: bool = False,
-               deadline: float | None = None) -> int:
+               deadline: float | None = None,
+               retry: RetryPolicy | None = None) -> int:
         """Encode ``images`` client-side and enqueue the upload.
 
-        Returns the request id to :meth:`result` on later.  Raises
-        :class:`~repro.serving.service.BackpressureError` (queue full) or
-        :class:`~repro.serving.service.RateLimitedError` (token bucket
-        empty) without transmitting anything.  ``deadline`` is an
-        absolute service-clock SLO consumed by deadline-aware schedulers.
+        Returns the request id to :meth:`result` on later.  Raises only
+        :class:`~repro.serving.errors.ServingError` subclasses:
+        :class:`~repro.serving.errors.BackpressureError` (queue full),
+        :class:`~repro.serving.errors.RateLimitedError` (token bucket
+        empty) — both without transmitting anything — or
+        :class:`~repro.serving.errors.ProtocolError` (the frame was
+        mangled on a fault-injected wire).  ``deadline`` is an absolute
+        service-clock SLO consumed by deadline-aware schedulers; with a
+        :class:`~repro.serving.faults.RetryPolicy` transient failures are
+        retried under exponential backoff (same request id each attempt).
         """
         return self.submit_features(self.encode(images), record=record,
-                                    deadline=deadline)
+                                    deadline=deadline, retry=retry)
+
+    def reserve_request_id(self) -> int:
+        """Burn and return the next request id without submitting.
+
+        Retrying clients reserve the id first so every attempt — even one
+        rejected at admission — reuses the *same* id, which is what lets
+        the service deduplicate a retry whose earlier attempt survived.
+        """
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
 
     def submit_features(self, features: np.ndarray, record: bool = False,
-                        deadline: float | None = None) -> int:
-        """Enqueue pre-encoded features (the raw protocol-level entry)."""
-        request = UploadRequest(self.session_id, self._next_request_id,
-                                np.asarray(features), record=record,
-                                deadline=deadline)
-        self._next_request_id += 1
-        self._service.submit(request)
-        self._pending.add(request.request_id)
-        return request.request_id
+                        deadline: float | None = None,
+                        request_id: int | None = None,
+                        retry: RetryPolicy | None = None) -> int:
+        """Enqueue pre-encoded features (the raw protocol-level entry).
+
+        ``request_id`` resubmits under an id from
+        :meth:`reserve_request_id` (or from a previous failed attempt) —
+        the idempotent-retry path; omitted, a fresh id is burned even
+        when admission rejects the submit, so a later manual retry can
+        reuse it.  ``retry`` arms automatic attempts: transient
+        :class:`~repro.serving.errors.ServingError` failures back off
+        exponentially (with deterministic jitter) on the service's
+        virtual clock — enough for token buckets to refill and faulted
+        wires to be re-rolled; the final attempt's error propagates.
+        """
+        if request_id is None:
+            request_id = self.reserve_request_id()
+        features = np.asarray(features)
+        attempt = 0
+        while True:
+            request = UploadRequest(self.session_id, request_id, features,
+                                    record=record, deadline=deadline)
+            try:
+                self._service.submit(request)
+            except ServingError as exc:
+                if (retry is None or attempt + 1 >= retry.max_attempts
+                        or not retry.retryable(exc)):
+                    raise
+                attempt += 1
+                # Back off on the virtual clock: buckets refill, queue
+                # pressure may clear, and the wire is re-rolled.
+                self._service.advance_clock(
+                    self._service.now
+                    + retry.delay_s(attempt - 1, self._retry_rng))
+            else:
+                self._pending.add(request_id)
+                return request_id
 
     # -- response side --------------------------------------------------
 
@@ -112,6 +183,13 @@ class Session:
         """Called by the service when a tick serves one of our requests."""
         self._responses[response.request_id] = response
         self._pending.discard(response.request_id)
+        self._states[response.request_id] = RequestState.COMPLETED
+
+    def _resolve(self, request_id: int, state: RequestState) -> None:
+        """Called by the service at each lifecycle transition."""
+        self._states[request_id] = state
+        if state.terminal:
+            self._pending.discard(request_id)
 
     def has_result(self, request_id: int) -> bool:
         """Whether a served response for ``request_id`` is waiting."""
@@ -135,11 +213,38 @@ class Session:
     def result(self, request_id: int) -> np.ndarray:
         """Decode a served request: private selection + tail -> logits.
 
-        Pops the stored response; each result can be consumed once.
+        Pops the stored response; each result can be consumed once.  A
+        request that reached a non-``COMPLETED`` terminal state raises
+        its typed error instead:
+        :class:`~repro.serving.errors.DeadlineExceededError` (expired),
+        :class:`~repro.serving.errors.RequestCancelledError` (session
+        closed while queued) or
+        :class:`~repro.serving.errors.TickFailedError` (crashed passes
+        exhausted their retries, or the upload frame was corrupt).
         """
         try:
             response = self._responses.pop(request_id)
         except KeyError:
+            state = self._states.get(request_id)
+            if state is RequestState.EXPIRED:
+                raise DeadlineExceededError(
+                    f"request {request_id} of session {self.session_id} "
+                    f"expired before a tick could serve it") from None
+            if state is RequestState.CANCELLED:
+                raise RequestCancelledError(
+                    f"request {request_id} of session {self.session_id} was "
+                    f"cancelled by close_session while queued") from None
+            if state is RequestState.FAILED:
+                raise TickFailedError(
+                    f"request {request_id} of session {self.session_id} "
+                    f"failed terminally (crashed stacked passes exhausted "
+                    f"their retries, or its upload frame was corrupt)"
+                ) from None
+            if state in (RequestState.REJECTED, RequestState.THROTTLED):
+                raise KeyError(
+                    f"request {request_id} of session {self.session_id} was "
+                    f"shed at admission ({state.value}); resubmit it"
+                ) from None
             if request_id in self._pending:
                 raise KeyError(
                     f"request {request_id} of session {self.session_id} has no "

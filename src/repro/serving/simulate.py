@@ -19,20 +19,51 @@ Costs come from a :class:`TickCost` — either explicit constants or
 derived from the calibrated :class:`~repro.latency.model.LatencyModel`
 via :meth:`TickCost.from_latency_model`, including the codec-narrowed
 downlink bytes of fp16 sessions.
+
+Fault-tolerant replay
+---------------------
+The loop is a real event queue (heap), not just a sorted arrival scan,
+because fault tolerance adds *client-side* events between arrivals:
+
+* a :class:`~repro.serving.faults.FaultInjector` (the service's own, or
+  one passed explicitly) delays submissions and stalls sessions — time
+  effects the service never observes;
+* a :class:`~repro.serving.faults.RetryPolicy` schedules backoff
+  resubmissions after transient :class:`~repro.serving.errors.ServingError`
+  failures, and — when ``timeout_s`` is set — resubmits requests whose
+  frames were silently dropped on the wire (same request id, so a retry
+  of a request that actually survived is deduplicated service-side);
+* an :class:`Arrival` with ``close_session=True`` closes its session
+  mid-trace, cancelling that tenant's queued work;
+* a tick that crashes (injected or real) still occupies the server for
+  the attempted pass cost, and its group rides the service's re-queue /
+  terminal-``FAILED`` recovery.
+
+Every replay ends with a **conservation sweep**: each submission the
+trace produced must sit in exactly one typed terminal
+:class:`~repro.serving.errors.RequestState`
+(``SimulationReport.conservation_ok``), with in-flight work that the
+client abandoned (lost frames past their retry budget) resolved as
+``FAILED`` — never silently dropped.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 import math
 
 import numpy as np
 
-from repro.serving.service import (
-    BackpressureError,
-    InferenceService,
-    RateLimitedError,
+from repro.serving.errors import (
+    TERMINAL_STATES,
+    RequestState,
+    ServingError,
 )
+from repro.serving.faults import FaultInjector, RetryPolicy
+from repro.serving.service import InferenceService
+from repro.serving.session import Session
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,7 +72,10 @@ class Arrival:
 
     ``deadline_s`` is the request's SLO *budget* relative to its arrival
     (absolute deadline = ``time + deadline_s``); ``None`` means no SLO.
-    ``features`` overrides the simulation-wide default payload.
+    ``features`` overrides the simulation-wide default payload.  An
+    arrival with ``close_session=True`` submits nothing: it closes the
+    indexed session at that time, cancelling its queued requests — the
+    mid-burst disconnect case.
     """
 
     time: float
@@ -49,6 +83,7 @@ class Arrival:
     deadline_s: float | None = None
     features: np.ndarray | None = None
     record: bool = False
+    close_session: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,6 +94,8 @@ class TickCost:
     the Amdahl serial term); ``per_sample_s`` scales with the samples in
     the group; ``per_request_downlink_s`` is added per response after the
     pass completes (each session still receives its own N feature maps).
+    A *crashed* pass charges the same formula for the samples it
+    attempted — failure does not refund server time.
     """
 
     pass_overhead_s: float = 0.0
@@ -97,22 +134,49 @@ class SimulationReport:
     keeps each tenant's own latencies, so proportional-share policies
     (weighted fair scheduling, per-tenant rate limits) are measurable at
     per-tenant p50/p95 via :meth:`session_percentile`.
+
+    The resilience fields close the loop on fault tolerance:
+    ``submitted`` counts the unique requests the trace produced,
+    ``terminal_counts`` maps each terminal
+    :class:`~repro.serving.errors.RequestState` name to how many requests
+    ended there, and ``conservation_ok`` asserts the invariant the chaos
+    gate enforces — every submitted request in exactly one terminal
+    state.  ``rejected`` / ``throttled`` are *final-state* counts: with a
+    retry policy a request rejected once but retried to completion
+    counts as completed, not rejected (without retries this coincides
+    with the historical per-attempt meaning).
     """
 
     scheduler: str
     latencies_s: list[float]
     violations: int  # served, but past their deadline
-    rejected: int    # shed by backpressure at admission
+    rejected: int    # finally REJECTED (shed by backpressure / overload)
     ticks: int
     makespan_s: float
-    throttled: int = 0  # shed by per-tenant rate limits at admission
+    throttled: int = 0  # finally THROTTLED (shed by per-tenant rate limits)
     latencies_by_session: dict[int, list[float]] = dataclasses.field(
         default_factory=dict)
+    submitted: int = 0  # unique requests the trace produced
+    terminal_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+    conservation_ok: bool = True  # every submission in exactly one terminal
+    tick_failures: int = 0  # crashed stacked passes during this replay
+    retries: int = 0        # resubmission attempts beyond each first try
+    degraded: int = 0       # responses served narrowed / ensemble-shrunk
 
     @property
     def served(self) -> int:
-        """How many arrivals were actually served (not shed)."""
+        """How many submissions were actually served (not shed)."""
         return len(self.latencies_s)
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests per virtual second of makespan.
+
+        *Goodput*, not throughput: only requests that reached their
+        client count, so shed, expired, cancelled and failed work —
+        however much server time it burned — contributes nothing.
+        """
+        return self.served / self.makespan_s if self.makespan_s > 0 else 0.0
 
     def percentile(self, q: float) -> float:
         """The q-th percentile of the aggregate latency distribution."""
@@ -165,8 +229,27 @@ class SimulationReport:
                 f"{self.throttled} throttled")
 
 
+@dataclasses.dataclass
+class _Pending:
+    """Client-side bookkeeping for one traced submission's lifecycle."""
+
+    session: Session
+    request_id: int
+    features: np.ndarray
+    record: bool
+    deadline: float | None
+    arrived: float       # the intended submission time (latency epoch)
+    attempts: int = 0    # submit attempts consumed (first try included)
+    done: bool = False   # a response reached the client
+
+
+_ARRIVAL, _SUBMIT, _TIMEOUT = 0, 1, 2  # event kinds, in tie-break order
+
+
 def simulate(service: InferenceService, sessions, trace, cost: TickCost,
-             default_features: np.ndarray | None = None) -> SimulationReport:
+             default_features: np.ndarray | None = None,
+             retry: RetryPolicy | None = None,
+             faults: FaultInjector | None = None) -> SimulationReport:
     """Replay ``trace`` through ``service`` on a virtual clock.
 
     ``sessions`` is an indexable of open :class:`Session` objects
@@ -180,59 +263,127 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     current (monotonic, never-rewinding) clock, so repeated ``simulate``
     calls against one service are well-defined — each replay starts at
     the service's "now", and reported latencies/makespan are unaffected.
+
+    ``faults`` (defaulting to the service's own injector) adds network
+    delay and session stalls client-side; the service consults the same
+    injector for wire faults and tick crashes.  ``retry`` arms
+    backoff resubmission of transient failures and — via ``timeout_s`` —
+    loss detection for dropped frames; retries reuse the original
+    request id, so the service deduplicates a retry whose earlier
+    attempt actually survived.  The replay ends with a conservation
+    sweep (see the module docstring).
     """
-    arrivals = sorted(trace, key=lambda a: a.time)
+    faults = faults if faults is not None else service.faults
     session_by_id = {s.session_id: s for s in sessions}
-    meta: dict[tuple[int, int], tuple[float, float | None]] = {}
     latencies: list[float] = []
     by_session: dict[int, list[float]] = {}
-    violations = rejected = throttled = ticks = 0
+    tracked: list[_Pending] = []
+    by_key: dict[tuple[int, int], _Pending] = {}
+    violations = ticks = retry_attempts = 0
+    failures_start = service.stats.tick_failures
+    degraded_start = service.stats.degraded_responses
     base = service.now  # rebase the trace's epoch; advance_clock never rewinds
     server_free_at = base
     makespan = base
     clock = base
-    index = 0
 
-    while index < len(arrivals) or service.pending:
-        next_arrival = (base + arrivals[index].time if index < len(arrivals)
-                        else math.inf)
+    seq = itertools.count()
+    heap: list[tuple[float, int, int, object]] = []
+    for arrival in sorted(trace, key=lambda a: a.time):
+        heapq.heappush(heap, (base + arrival.time, next(seq), _ARRIVAL,
+                              arrival))
+
+    def push(at: float, kind: int, payload) -> None:
+        heapq.heappush(heap, (at, next(seq), kind, payload))
+
+    def attempt(pend: _Pending) -> None:
+        """One real submission attempt; schedules its own retry on failure."""
+        nonlocal retry_attempts
+        pend.attempts += 1
+        if pend.attempts > 1:
+            retry_attempts += 1
+        try:
+            pend.session.submit_features(pend.features, record=pend.record,
+                                         deadline=pend.deadline,
+                                         request_id=pend.request_id)
+        except ServingError as exc:
+            if (retry is not None and pend.attempts < retry.max_attempts
+                    and retry.retryable(exc)):
+                push(clock + retry.delay_s(pend.attempts - 1,
+                                           pend.session._retry_rng),
+                     _SUBMIT, pend)
+            return  # otherwise: the service marked the terminal state
+        if retry is not None and retry.timeout_s is not None:
+            push(clock + retry.timeout_s, _TIMEOUT, pend)
+
+    while heap or service.pending:
+        next_event = heap[0][0] if heap else math.inf
         if service.pending:
             earliest = max(clock, server_free_at)
             tick_at = max(earliest, service.scheduler.next_event_time(earliest))
         else:
             tick_at = math.inf
 
-        if next_arrival <= tick_at:
-            arrival = arrivals[index]
-            index += 1
-            clock = base + arrival.time
+        if next_event <= tick_at:
+            at, _, kind, payload = heapq.heappop(heap)
+            clock = max(clock, at)
             service.advance_clock(clock)
-            session = sessions[arrival.session_index]
-            features = (arrival.features if arrival.features is not None
-                        else default_features)
-            if features is None:
-                raise ValueError("arrival carries no features and no "
-                                 "default_features was given")
-            deadline = (clock + arrival.deadline_s
-                        if arrival.deadline_s is not None else None)
-            try:
-                request_id = session.submit_features(features,
-                                                     record=arrival.record,
-                                                     deadline=deadline)
-            except RateLimitedError:
-                throttled += 1
-                continue
-            except BackpressureError:
-                rejected += 1
-                continue
-            meta[(session.session_id, request_id)] = (clock, deadline)
+            if kind == _ARRIVAL:
+                arrival = payload
+                session = sessions[arrival.session_index]
+                if arrival.close_session:
+                    service.close_session(session)
+                    continue
+                features = (arrival.features if arrival.features is not None
+                            else default_features)
+                if features is None:
+                    raise ValueError("arrival carries no features and no "
+                                     "default_features was given")
+                deadline = (clock + arrival.deadline_s
+                            if arrival.deadline_s is not None else None)
+                pend = _Pending(session=session,
+                                request_id=session.reserve_request_id(),
+                                features=features, record=arrival.record,
+                                deadline=deadline, arrived=clock)
+                tracked.append(pend)
+                by_key[(session.session_id, pend.request_id)] = pend
+                delay = 0.0
+                if faults is not None:
+                    delay = (faults.submission_delay()
+                             + faults.session_stall(session.session_id))
+                if delay > 0.0:
+                    push(clock + delay, _SUBMIT, pend)
+                else:
+                    attempt(pend)
+            elif kind == _SUBMIT:
+                if not payload.done:
+                    attempt(payload)
+            else:  # _TIMEOUT: loss detection for silently dropped frames
+                pend = payload
+                if (not pend.done and retry is not None
+                        and pend.attempts < retry.max_attempts
+                        and pend.session.request_state(pend.request_id)
+                        is RequestState.QUEUED):
+                    attempt(pend)
             continue
 
         clock = tick_at
         service.advance_clock(clock)
+        failures_before = service.stats.tick_failures
+        failed_samples_before = service.stats.tick_failure_samples
+        expired_before = service.stats.expired_requests
         responses = service.tick()
-        if not responses:  # defensive: scheduler declined to form a group
-            break
+        if not responses:
+            if service.stats.tick_failures > failures_before:
+                # The crashed pass still occupied the server: charge the
+                # attempted group's cost before the retry pass can start.
+                attempted = (service.stats.tick_failure_samples
+                             - failed_samples_before)
+                server_free_at = clock + cost.pass_seconds(attempted)
+                continue
+            if service.stats.expired_requests > expired_before:
+                continue  # progress: expired requests were shed pre-schedule
+            break  # defensive: scheduler declined to form a group
         ticks += 1
         group_samples = sum(r.outputs[0].shape[0] for r in responses)
         pass_done = clock + cost.pass_seconds(group_samples)
@@ -241,7 +392,11 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
             done = pass_done + cost.per_request_downlink_s
             makespan = max(makespan, done)
             key = (response.session_id, response.request_id)
-            arrived, deadline = meta.pop(key, (clock, None))
+            pend = by_key.get(key)
+            arrived, deadline = ((pend.arrived, pend.deadline) if pend
+                                 else (clock, None))
+            if pend is not None:
+                pend.done = True
             latencies.append(done - arrived)
             by_session.setdefault(response.session_id, []).append(done - arrived)
             if deadline is not None and done > deadline:
@@ -250,11 +405,34 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
             if session is not None:  # consume so memory stays bounded
                 session.take_response(response.request_id)
 
+    # Conservation sweep: every traced submission must sit in exactly one
+    # terminal state.  Abandoned in-flight work (a frame lost on the wire
+    # with no retry budget left, or a queue the scheduler declined to
+    # drain) resolves client-side as FAILED — never silently dropped.
+    terminal_counts = {state.value: 0 for state in TERMINAL_STATES}
+    for pend in tracked:
+        state = pend.session.request_state(pend.request_id)
+        if state is None or not state.terminal:
+            pend.session._resolve(pend.request_id, RequestState.FAILED)
+            state = RequestState.FAILED
+        terminal_counts[state.value] += 1
+    conservation_ok = sum(terminal_counts.values()) == len(tracked)
+
     return SimulationReport(scheduler=service.config.scheduler,
                             latencies_s=latencies, violations=violations,
-                            rejected=rejected, ticks=ticks,
-                            makespan_s=makespan - base, throttled=throttled,
-                            latencies_by_session=by_session)
+                            rejected=terminal_counts[RequestState.REJECTED.value],
+                            ticks=ticks,
+                            makespan_s=makespan - base,
+                            throttled=terminal_counts[RequestState.THROTTLED.value],
+                            latencies_by_session=by_session,
+                            submitted=len(tracked),
+                            terminal_counts=terminal_counts,
+                            conservation_ok=conservation_ok,
+                            tick_failures=(service.stats.tick_failures
+                                           - failures_start),
+                            retries=retry_attempts,
+                            degraded=(service.stats.degraded_responses
+                                      - degraded_start))
 
 
 # -- trace generators ----------------------------------------------------

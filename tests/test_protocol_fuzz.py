@@ -1,0 +1,122 @@
+"""Fuzz tests for the CRC32-hardened wire protocol: no mangled frame may
+escape as anything but a typed ProtocolError."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    Codec,
+    FeatureResponse,
+    ProtocolError,
+    UploadRequest,
+)
+
+rng = np.random.default_rng(97)
+
+CODECS = [Codec.FP32, Codec.FP16, Codec.INT8]
+
+
+def upload_frame(seed=0):
+    local = np.random.default_rng(seed)
+    features = local.random((2, 4, 4, 4)).astype(np.float32)
+    return UploadRequest(seed + 1, seed, features).to_bytes()
+
+
+def response_frame(codec, seed=0):
+    local = np.random.default_rng(seed)
+    outputs = [local.random((2, 16)).astype(np.float32) for _ in range(3)]
+    return FeatureResponse.encode(seed + 1, seed, outputs, codec=codec).to_bytes()
+
+
+def all_frames():
+    frames = [("upload", upload_frame())]
+    frames += [(f"response-{codec.name.lower()}", response_frame(codec))
+               for codec in CODECS]
+    return frames
+
+
+def assert_rejected(parser, blob):
+    with pytest.raises(ProtocolError):
+        parser(blob)
+
+
+@pytest.mark.parametrize("name,frame", all_frames())
+class TestMangledFrames:
+    """Every mutation of every frame kind/codec must raise ProtocolError."""
+
+    def parser(self, name):
+        return (UploadRequest.from_bytes if name == "upload"
+                else FeatureResponse.from_bytes)
+
+    def test_random_truncation(self, name, frame):
+        parser = self.parser(name)
+        cuts = set(rng.integers(0, len(frame), size=60).tolist())
+        cuts.update((0, 1, 59, 60, 61, 63, 64, len(frame) - 1))
+        for cut in cuts:
+            assert_rejected(parser, frame[:cut])
+
+    def test_single_bit_flips_everywhere(self, name, frame):
+        parser = self.parser(name)
+        # Sweep the whole header densely and sample the payload: a flip in
+        # any field — magic, version, kind, ids, shape, CRC, payload bytes —
+        # must be caught (by field validation or by the checksum).
+        positions = set(range(0, 64))
+        positions.update(rng.integers(64, len(frame), size=120).tolist())
+        for pos in positions:
+            for bit in (0, 3, 7):
+                blob = bytearray(frame)
+                blob[pos] ^= 1 << bit
+                assert_rejected(parser, bytes(blob))
+
+    def test_multi_byte_corruption(self, name, frame):
+        parser = self.parser(name)
+        for trial in range(50):
+            blob = bytearray(frame)
+            for pos in rng.integers(0, len(frame), size=4):
+                blob[pos] ^= int(rng.integers(1, 256))
+            assert_rejected(parser, bytes(blob))
+
+    def test_garbage_prefix(self, name, frame):
+        parser = self.parser(name)
+        for size in (0, 1, 32, 64, 256):
+            assert_rejected(parser, bytes(rng.integers(0, 256, size=size,
+                                                       dtype=np.uint8)))
+
+    def test_extension_rejected(self, name, frame):
+        assert_rejected(self.parser(name), frame + b"\x00" * 8)
+        assert_rejected(self.parser(name), frame + frame[:17])
+
+
+class TestTargetedHeaders:
+    """Hand-built header violations keep their specific rejection paths."""
+
+    def test_wrong_magic(self):
+        frame = bytearray(upload_frame())
+        frame[:4] = b"JUNK"
+        assert_rejected(UploadRequest.from_bytes, bytes(frame))
+
+    def test_kind_confusion(self):
+        # A response frame fed to the upload parser (and vice versa) is a
+        # protocol violation even though the frame itself is intact.
+        assert_rejected(UploadRequest.from_bytes, response_frame(Codec.FP32))
+        assert_rejected(FeatureResponse.from_bytes, upload_frame())
+
+    def test_truncated_payload_with_intact_header(self):
+        frame = upload_frame()
+        assert_rejected(UploadRequest.from_bytes, frame[:64 + 7])
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_codec_roundtrip_still_intact(self, codec):
+        # Sanity companion to the fuzz: the unmangled frame still parses.
+        frame = response_frame(codec)
+        parsed = FeatureResponse.from_bytes(frame)
+        assert parsed.codec is codec
+        assert parsed.num_nets == 3
+
+    def test_zero_filled_frame(self):
+        assert_rejected(UploadRequest.from_bytes, b"\x00" * 128)
+        assert_rejected(FeatureResponse.from_bytes, b"\x00" * 128)
+
+    def test_protocol_error_is_valueerror_compatible(self):
+        with pytest.raises(ValueError):
+            UploadRequest.from_bytes(b"garbage")

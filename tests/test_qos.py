@@ -153,11 +153,11 @@ class TestWeightedFairScheduler:
         scheduler.set_session_weight(1, 5.0)
         scheduler.enqueue(request(1, 0))
         scheduler.enqueue(request(2, 0))
-        assert scheduler.cancel_session(1) == 1
+        assert len(scheduler.cancel_session(1)) == 1
         assert 1 not in scheduler._weights
         assert 1 not in scheduler._deficits
         assert [r.session_id for r in scheduler.next_group(4)] == [2]
-        assert scheduler.cancel_session(1) == 0
+        assert scheduler.cancel_session(1) == []
 
     def test_weight_validation(self):
         scheduler = WeightedFairScheduler()

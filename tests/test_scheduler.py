@@ -166,9 +166,9 @@ class TestFifoEquivalence:
         for i in range(3):
             scheduler.enqueue(request(1, i))
         scheduler.enqueue(request(2, 0))
-        assert scheduler.cancel_session(1) == 3
+        assert len(scheduler.cancel_session(1)) == 3
         assert scheduler.pending == 1
-        assert scheduler.cancel_session(99) == 0
+        assert scheduler.cancel_session(99) == []
 
 
 class TestFairShare:
@@ -213,7 +213,7 @@ class TestFairShare:
         scheduler = FairShareScheduler()
         scheduler.enqueue(request(1, 0))
         scheduler.enqueue(request(2, 0))
-        assert scheduler.cancel_session(1) == 1
+        assert len(scheduler.cancel_session(1)) == 1
         group = scheduler.next_group(max_batch=4)
         assert [r.session_id for r in group] == [2]
         assert scheduler.pending == 0
@@ -330,7 +330,7 @@ class TestDeadline:
         scheduler = DeadlineScheduler()
         scheduler.enqueue(request(1, 0, deadline=0.5))
         scheduler.enqueue(request(2, 0, deadline=0.1))
-        assert scheduler.cancel_session(1) == 1
+        assert len(scheduler.cancel_session(1)) == 1
         assert scheduler.pending == 1
 
     def test_validation(self):
