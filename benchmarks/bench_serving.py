@@ -22,6 +22,12 @@ layer (contended 2:1 weighted shares plus simulated per-tenant tails on
 a 2:1 offered trace), and fp32 vs fp16 vs int8 downlink bytes of the
 negotiated wire codecs.
 
+A fourth, **fleet-chaos** mode (``run_fleet_chaos_benchmark``) replays
+one bursty trace twice over a 4-replica :class:`ServiceFleet` — fault
+free, then with one replica crashed mid-trace — and records goodput,
+failover blast radius (sessions migrated), duplicate serves (must be
+zero) and fleet-wide request conservation.
+
 Run as pytest (``pytest benchmarks/bench_serving.py -s``) or directly
 (``python benchmarks/bench_serving.py``).  Either way records are appended
 to the ``BENCH_serving.json`` history at the repo root; the pytest entries
@@ -52,11 +58,15 @@ from repro.serving import (  # noqa: E402
     DeadlineScheduler,
     FaultInjector,
     FaultPlan,
+    FleetPolicy,
     InferenceService,
+    ReplicaFault,
     RetryPolicy,
+    ServiceFleet,
     TickCost,
     bursty_trace,
     simulate,
+    simulate_fleet,
 )
 
 NUM_NETS = 8
@@ -375,6 +385,113 @@ def print_chaos_record(record: dict) -> None:
           f"terminal states {chaos['terminal_counts']}")
 
 
+FLEET_REPLICAS = 4
+FLEET_SESSIONS = 16
+FLEET_KILL_AT = 0.24  # mid-trace: bursts land at 0.00/0.08/.../0.40
+FLEET_RETRY = RetryPolicy(max_attempts=6, base_delay_s=0.004, multiplier=2.0,
+                          max_delay_s=0.05, jitter=0.1, timeout_s=0.06)
+FLEET_COST = TickCost(pass_overhead_s=0.004, per_sample_s=0.0005,
+                      per_request_downlink_s=0.0002)
+FLEET_POLICY = FleetPolicy(heartbeat_interval_s=0.01, suspect_after_s=0.025,
+                           down_after_s=0.05, checkpoint_interval_s=0.02)
+
+
+def _fleet_replay(bodies, features, kill_replica=None) -> dict:
+    """One bursty replay over a replicated fleet; optionally kill a
+    replica mid-trace and fail its sessions over."""
+    plan = FaultPlan(replica_faults=(
+        (ReplicaFault(replica=kill_replica, at_s=FLEET_KILL_AT),)
+        if kill_replica is not None else ()))
+    replicas = [InferenceService(Server(bodies), max_batch=4,
+                                 max_queue=4 * FLEET_SESSIONS)
+                for _ in range(FLEET_REPLICAS)]
+    fleet = ServiceFleet(replicas, policy=FLEET_POLICY,
+                         faults=FaultInjector(plan, seed=0))
+    sessions = [fleet.adopt_session(Client(nn.Identity(), nn.Identity()))
+                for _ in range(FLEET_SESSIONS)]
+    trace = bursty_trace(num_sessions=FLEET_SESSIONS, bursts=6,
+                         burst_size=FLEET_SESSIONS, burst_gap_s=0.08)
+    report = simulate_fleet(fleet, sessions, trace, FLEET_COST,
+                            default_features=features, retry=FLEET_RETRY)
+    live = len(sessions)
+    return {
+        "submitted": report.submitted,
+        "served": report.served,
+        "goodput_rps": report.goodput_rps,
+        "p95_ms": report.p95_s * 1e3,
+        "makespan_ms": report.makespan_s * 1e3,
+        "retries": report.retries,
+        "ticks_by_replica": {str(k): v
+                             for k, v in sorted(report.ticks_by_replica.items())},
+        "terminal_counts": report.terminal_counts,
+        "conservation_ok": report.conservation_ok,
+        "duplicate_serves": report.duplicate_serves,
+        "failovers": report.failovers,
+        "lost_submits": report.lost_submits,
+        "migrated_sessions": report.migrated_sessions,
+        "migrated_fraction": report.migrated_sessions / live,
+        "health_log": [(round(t, 4), rid, state)
+                       for t, rid, state in report.health_log],
+        "goodput_before_kill_rps": report.goodput_between(0.0, FLEET_KILL_AT),
+        "goodput_after_kill_rps": report.goodput_between(
+            FLEET_KILL_AT, max(report.makespan_s, FLEET_KILL_AT + 1e-9)),
+        "fleet_stats": fleet.fleet_stats.as_dict(),
+    }
+
+
+def run_fleet_chaos_benchmark(num_nets=NUM_NETS, width=WIDTH,
+                              spatial=SPATIAL, kill_replica=3) -> dict:
+    """Fleet resilience record: the same bursty trace replayed twice over
+    a 4-replica fleet — fault-free, then with one replica crashed
+    mid-trace (detected by heartbeat silence, sessions failed over from
+    checkpoints, in-flight requests recovered by retry timeouts)."""
+    rng = np.random.default_rng(3)
+    features = rng.random((REQUEST_BATCH, width, spatial, spatial),
+                          dtype=np.float32)
+    bodies = build_bodies(num_nets, width)
+    baseline = _fleet_replay(bodies, features)
+    chaos = _fleet_replay(bodies, features, kill_replica=kill_replica)
+    return {
+        "benchmark": "fleet_chaos",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_nets": num_nets,
+        "num_replicas": FLEET_REPLICAS,
+        "num_sessions": FLEET_SESSIONS,
+        "width": width,
+        "spatial": spatial,
+        "killed_replica": kill_replica,
+        "kill_at_s": FLEET_KILL_AT,
+        "baseline": baseline,
+        "chaos": chaos,
+        "goodput_ratio": (chaos["goodput_rps"] / baseline["goodput_rps"]
+                          if baseline["goodput_rps"] > 0 else 0.0),
+    }
+
+
+def print_fleet_chaos_record(record: dict) -> None:
+    base, chaos = record["baseline"], record["chaos"]
+    print(f"\nfleet chaos replay (R={record['num_replicas']} replicas, "
+          f"S={record['num_sessions']} sessions, replica "
+          f"{record['killed_replica']} killed at t={record['kill_at_s']}s)")
+    print(f"{'':>10}  {'served':>6}  {'goodput [r/s]':>13}  {'p95 [ms]':>9}  "
+          f"{'retries':>7}  {'dups':>4}  {'conserved':>9}")
+    for name, row in (("baseline", base), ("chaos", chaos)):
+        print(f"{name:>10}  {row['served']:>6}  {row['goodput_rps']:>13.1f}  "
+              f"{row['p95_ms']:>9.1f}  {row['retries']:>7}  "
+              f"{row['duplicate_serves']:>4}  "
+              f"{str(row['conservation_ok']):>9}")
+    timeline = ", ".join(f"t={t:.2f}s r{rid}:{state}"
+                         for t, rid, state in chaos["health_log"]
+                         if state != "healthy")
+    print(f"health timeline: {timeline or 'no transitions'}")
+    print(f"failover moved {chaos['migrated_sessions']}/"
+          f"{record['num_sessions']} sessions "
+          f"({chaos['migrated_fraction'] * 100:.0f}%); goodput "
+          f"{record['goodput_ratio']:.2f}x fault-free "
+          f"(after-kill {chaos['goodput_after_kill_rps']:.0f} r/s vs "
+          f"before-kill {chaos['goodput_before_kill_rps']:.0f} r/s)")
+
+
 def run_scheduler_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
                             spatial=SPATIAL, requests_per_session=4,
                             codec_batch=8, repeats: int = 5) -> dict:
@@ -517,6 +634,33 @@ def test_chaos_resilience():
         f"{record['goodput_ratio']:.2f}x fault-free (< 0.85x)")
 
 
+def test_fleet_chaos():
+    """Acceptance bars for the replicated tier: killing 1 of 4 replicas
+    mid-trace keeps goodput ≥ 0.70x the fault-free fleet replay, both
+    replays conserve every submission in exactly one terminal state, no
+    request is ever served twice, and failover migrates only the dead
+    replica's arc (≤ half the live sessions, ~1/N expected)."""
+    record = run_fleet_chaos_benchmark()
+    write_record(record)
+    print_fleet_chaos_record(record)
+    assert record["baseline"]["conservation_ok"]
+    assert record["chaos"]["conservation_ok"], (
+        f"requests leaked without a terminal state across failover: "
+        f"{record['chaos']['terminal_counts']}")
+    assert record["baseline"]["duplicate_serves"] == 0
+    assert record["chaos"]["duplicate_serves"] == 0, \
+        "a request was served twice across failover"
+    assert record["chaos"]["failovers"] == 1, \
+        "the killed replica was never declared DOWN"
+    assert record["goodput_ratio"] >= 0.70, (
+        f"fleet goodput collapsed to {record['goodput_ratio']:.2f}x "
+        f"fault-free after losing 1 of {record['num_replicas']} replicas")
+    assert record["chaos"]["migrated_fraction"] <= 0.5, (
+        f"failover moved {record['chaos']['migrated_fraction'] * 100:.0f}% "
+        f"of sessions; the consistent-hash ring should bound it near "
+        f"1/{record['num_replicas']}")
+
+
 if __name__ == "__main__":
     rec = run_benchmark()
     out = write_record(rec)
@@ -527,4 +671,7 @@ if __name__ == "__main__":
     chaos = run_chaos_benchmark()
     write_record(chaos)
     print_chaos_record(chaos)
+    fleet = run_fleet_chaos_benchmark()
+    write_record(fleet)
+    print_fleet_chaos_record(fleet)
     print(f"\nrecords written to {out}")

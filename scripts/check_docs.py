@@ -28,8 +28,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SERVING_MODULES = (
     "repro.serving",
+    "repro.serving.checkpoint",
     "repro.serving.errors",
     "repro.serving.faults",
+    "repro.serving.fleet",
     "repro.serving.overload",
     "repro.serving.protocol",
     "repro.serving.scheduler",

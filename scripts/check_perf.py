@@ -25,6 +25,11 @@ benchmarks live in ``benchmarks/``):
   bursty trace, and every submitted request (chaos and baseline alike)
   must end in exactly one terminal state (the conservation invariant
   ``SimulationReport.conservation_ok`` verifies per replay).
+* **fleet** — killing 1 of 4 replicas mid-trace must keep fleet goodput
+  >= 0.70x the fault-free fleet replay, conserve every submission in
+  exactly one terminal state across failover, serve no request twice
+  (``duplicate_serves == 0``), and migrate at most half the live
+  sessions (the consistent-hash ring bounds the blast radius near 1/N).
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -194,9 +199,48 @@ def check_chaos() -> list[str]:
     return failures
 
 
+def check_fleet() -> list[str]:
+    """Replicated-tier gate: losing a replica may cost latency, never
+    correctness — and the ring must bound the failover blast radius.
+
+    Deterministic like the chaos gate (seeded plan, virtual clocks per
+    replica), so failures are real fault-tolerance regressions.
+    """
+    bench = load_bench("bench_serving")
+    record = bench.run_fleet_chaos_benchmark()
+    bench.write_record(record)
+    bench.print_fleet_chaos_record(record)
+    failures = []
+    for name in ("baseline", "chaos"):
+        if not record[name]["conservation_ok"]:
+            failures.append(
+                f"fleet: {name} replay leaked requests without a terminal "
+                f"state across failover: {record[name]['terminal_counts']}")
+        if record[name]["duplicate_serves"]:
+            failures.append(
+                f"fleet: {name} replay served "
+                f"{record[name]['duplicate_serves']} requests twice")
+    if record["chaos"]["failovers"] != 1:
+        failures.append(
+            f"fleet: expected exactly 1 failover after the mid-trace kill, "
+            f"saw {record['chaos']['failovers']}")
+    if record["goodput_ratio"] < 0.70:
+        failures.append(
+            f"fleet: goodput after losing 1 of {record['num_replicas']} "
+            f"replicas is {record['goodput_ratio']:.2f}x fault-free "
+            f"(< 0.70x)")
+    if record["chaos"]["migrated_fraction"] > 0.5:
+        failures.append(
+            f"fleet: failover moved "
+            f"{record['chaos']['migrated_fraction'] * 100:.0f}% of live "
+            f"sessions (> 50%); the ring should bound it near "
+            f"1/{record['num_replicas']}")
+    return failures
+
+
 def main() -> int:
     failures = (check_ensemble() + check_attack() + check_serving()
-                + check_schedulers() + check_chaos())
+                + check_schedulers() + check_chaos() + check_fleet())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
@@ -208,7 +252,9 @@ def main() -> int:
           "fair-share within 10% of FIFO, deadline p95 < FIFO p95, "
           "weighted 2:1 shares within 15%, "
           "fp16 downlink >= 1.9x and int8 >= 3.5x smaller, "
-          "chaos goodput >= 0.85x fault-free with request conservation")
+          "chaos goodput >= 0.85x fault-free with request conservation, "
+          "fleet goodput >= 0.70x after a replica kill with zero duplicate "
+          "serves and a bounded failover blast radius")
     return 0
 
 

@@ -31,14 +31,32 @@ forward, so K waiting requests cost one fused pass instead of K.
 * :mod:`repro.serving.simulate` — an event-driven virtual-clock front-end
   replaying arrival-time traces (with faults, retries and mid-trace
   disconnects) and reporting latency percentiles, SLO violations and
-  per-replay request conservation.
+  per-replay request conservation — plus :func:`simulate_fleet`, the
+  same loop at fleet scope (per-replica busy clocks, heartbeat events,
+  mid-trace replica kills, zero-duplicate-serve accounting);
+* :mod:`repro.serving.fleet` — the replicated tier: a
+  :class:`ServiceFleet` of hardened replicas behind a consistent-hash
+  :class:`HashRing` (sticky session routing, ~1/N failover blast
+  radius), a heartbeat :class:`FailureDetector` with hysteresis, and
+  checkpoint-driven session failover;
+* :mod:`repro.serving.checkpoint` — versioned, CRC32-checked
+  :class:`SessionState` byte encoding (selector subset, noise seed,
+  codec, weight, token level, request lifecycle) with an in-memory
+  :class:`CheckpointStore`; corrupt blobs raise a typed
+  :class:`CheckpointError`, never restore silently-wrong state.
 
 The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
 """
 
+from repro.serving.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    SessionState,
+)
 from repro.serving.errors import (
     TERMINAL_STATES,
     BackpressureError,
+    CheckpointError,
     DeadlineExceededError,
     ProtocolError,
     RateLimitedError,
@@ -52,8 +70,18 @@ from repro.serving.faults import (
     FaultInjector,
     FaultPlan,
     FaultStats,
+    ReplicaFault,
     RetryPolicy,
     is_serving_error,
+)
+from repro.serving.fleet import (
+    FailureDetector,
+    FleetPolicy,
+    FleetStats,
+    HashRing,
+    ReplicaHandle,
+    ReplicaHealth,
+    ServiceFleet,
 )
 from repro.serving.overload import (
     LADDER,
@@ -85,25 +113,35 @@ from repro.serving.service import (
 from repro.serving.session import Session
 from repro.serving.simulate import (
     Arrival,
+    FleetSimulationReport,
     SimulationReport,
     TickCost,
     bursty_trace,
     poisson_trace,
     simulate,
+    simulate_fleet,
 )
 
 __all__ = [
     "Arrival",
     "BackpressureError",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
     "Codec",
     "DeadlineExceededError",
     "DeadlineScheduler",
+    "FailureDetector",
     "FairShareScheduler",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "FeatureResponse",
     "FifoScheduler",
+    "FleetPolicy",
+    "FleetSimulationReport",
+    "FleetStats",
+    "HashRing",
     "InferenceService",
     "LADDER",
     "OverloadController",
@@ -112,15 +150,20 @@ __all__ = [
     "RateLimit",
     "RateLimitedError",
     "RateLimiter",
+    "ReplicaFault",
+    "ReplicaHandle",
+    "ReplicaHealth",
     "RequestCancelledError",
     "RequestState",
     "RetryPolicy",
     "SCHEDULERS",
     "Scheduler",
+    "ServiceFleet",
     "ServiceStats",
     "ServingConfig",
     "ServingError",
     "Session",
+    "SessionState",
     "SimulationReport",
     "TERMINAL_STATES",
     "TickCost",
@@ -134,4 +177,5 @@ __all__ = [
     "make_scheduler",
     "poisson_trace",
     "simulate",
+    "simulate_fleet",
 ]

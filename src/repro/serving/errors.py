@@ -118,6 +118,18 @@ class RequestCancelledError(ServingError):
     """
 
 
+class CheckpointError(ServingError, ValueError):
+    """A session checkpoint blob failed to decode or to apply.
+
+    Raised by :mod:`repro.serving.checkpoint` for truncated, bit-flipped,
+    version-skewed or otherwise corrupt checkpoint bytes — and for a
+    decoded state that contradicts the session it would restore (wrong
+    selector subset, wrong session id).  A checkpoint must restore
+    exactly or not at all: failover never adopts silently-wrong session
+    state.
+    """
+
+
 class RequestState(enum.Enum):
     """Lifecycle of one submitted request (see the module diagram).
 

@@ -50,6 +50,65 @@ UPLINK_CORRUPT = "corrupt"
 UPLINK_TRUNCATE = "truncate"
 UPLINK_DROP = "drop"
 
+#: replica-level fault kinds (consumed by the fleet simulator).
+REPLICA_CRASH = "crash"        # process dies; queued requests are lost
+REPLICA_HANG = "hang"          # accepts submits but stops ticking
+REPLICA_PARTITION = "partition"  # router <-> replica link severed
+REPLICA_SLOW = "slow"          # ticks run ``factor`` x slower
+
+_REPLICA_KINDS = (REPLICA_CRASH, REPLICA_HANG, REPLICA_PARTITION,
+                  REPLICA_SLOW)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicaFault:
+    """One scheduled replica-level fault in a fleet replay.
+
+    ``replica`` names the target by fleet index; ``at_s`` is the virtual
+    time the fault strikes.  ``kind`` selects the failure mode:
+
+    * :data:`REPLICA_CRASH` — the replica dies, taking its queued
+      requests with it (recovered client-side via retry timeouts and
+      checkpoint failover).  Crashes are permanent; ``duration_s`` is
+      ignored.
+    * :data:`REPLICA_HANG` — the replica keeps *accepting* submits but
+      stops ticking for ``duration_s`` seconds: the
+      hang-while-holding-requests scenario, the nastiest failure for
+      exactly-once accounting.
+    * :data:`REPLICA_PARTITION` — the router cannot reach the replica
+      for ``duration_s`` seconds; submits routed to it are lost on the
+      wire (the replica itself keeps ticking its backlog).
+    * :data:`REPLICA_SLOW` — ticks cost ``factor`` x their normal time
+      for ``duration_s`` seconds (a gray failure the detector must
+      *not* over-react to).
+    """
+
+    replica: int
+    at_s: float
+    kind: str = REPLICA_CRASH
+    duration_s: float = 0.0
+    factor: float = 4.0  # slow-tick multiplier (REPLICA_SLOW only)
+
+    def __post_init__(self):
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.kind not in _REPLICA_KINDS:
+            raise ValueError(f"unknown replica fault kind '{self.kind}'; "
+                             f"choose from {_REPLICA_KINDS}")
+        if self.kind != REPLICA_CRASH and self.duration_s <= 0:
+            raise ValueError(f"{self.kind} faults need duration_s > 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (slow means slower)")
+
+    @property
+    def until_s(self) -> float:
+        """When the fault clears (``inf`` for a permanent crash)."""
+        if self.kind == REPLICA_CRASH:
+            return float("inf")
+        return self.at_s + self.duration_s
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:
@@ -73,6 +132,7 @@ class FaultPlan:
     tick_failures_at: tuple[int, ...] = ()
     stall_rate: float = 0.0      # probability a submission stalls
     stall_s: float = 0.0         # stall duration (virtual seconds)
+    replica_faults: tuple[ReplicaFault, ...] = ()  # fleet-level schedule
 
     def __post_init__(self):
         for name in ("corrupt_rate", "truncate_rate", "drop_rate",
@@ -87,6 +147,9 @@ class FaultPlan:
             raise ValueError("delay_s and stall_s must be >= 0")
         object.__setattr__(self, "tick_failures_at",
                            tuple(int(t) for t in self.tick_failures_at))
+        object.__setattr__(self, "replica_faults",
+                           tuple(sorted(self.replica_faults,
+                                        key=lambda f: f.at_s)))
 
     @property
     def frame_fault_rate(self) -> float:
@@ -104,13 +167,16 @@ class FaultStats:
     delays: int = 0
     tick_failures: int = 0
     stalls: int = 0
+    replica_crashes: int = 0      # replicas killed outright
+    replica_hangs: int = 0        # tick loops frozen while holding work
+    replica_partitions: int = 0   # router <-> replica links severed
+    replica_slowdowns: int = 0    # slow-tick windows applied
 
     @property
     def total(self) -> int:
         """Every injected fault, across all kinds."""
-        return (self.corrupted_frames + self.truncated_frames
-                + self.dropped_frames + self.delays + self.tick_failures
-                + self.stalls)
+        return sum(getattr(self, field.name)
+                   for field in dataclasses.fields(self))
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (for benchmark JSON records)."""
@@ -199,6 +265,23 @@ class FaultInjector:
             return 0.0
         self.stats.stalls += 1
         return float(plan.stall_s)
+
+    # -- replica-level faults (consumed by the fleet) --------------------
+
+    def record_replica_fault(self, fault: ReplicaFault) -> ReplicaFault:
+        """Count a scheduled :class:`ReplicaFault` as it is applied.
+
+        Replica faults are *scheduled*, not drawn — the fleet simulator
+        applies them at their ``at_s`` — so the injector only keeps the
+        books: the matching ``replica_*`` counter in :attr:`stats` bumps
+        and the fault is returned for chaining.
+        """
+        counter = {REPLICA_CRASH: "replica_crashes",
+                   REPLICA_HANG: "replica_hangs",
+                   REPLICA_PARTITION: "replica_partitions",
+                   REPLICA_SLOW: "replica_slowdowns"}[fault.kind]
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        return fault
 
     # -- server-side crashes --------------------------------------------
 

@@ -88,13 +88,40 @@ class OverloadController:
     unit-tested (and replayed) in isolation.
     """
 
-    def __init__(self, policy: OverloadPolicy | None = None):
+    def __init__(self, policy: OverloadPolicy | None = None,
+                 max_level: int = LEVEL_SHRINK_ENSEMBLE):
         self.policy = policy if policy is not None else OverloadPolicy()
         self.level = LEVEL_NORMAL
         self.escalations = 0   # total upward transitions
         self.recoveries = 0    # total downward transitions
         self._over = 0         # consecutive observations above high water
         self._under = 0        # consecutive observations below low water
+        self._max_level = LEVEL_SHRINK_ENSEMBLE
+        self.max_level = max_level
+
+    @property
+    def max_level(self) -> int:
+        """The deepest ladder level this controller may escalate to.
+
+        A fleet caps its replicas at :data:`LEVEL_NARROW_CODEC` so each
+        replica sheds and narrows on its own, and raises the cap to
+        :data:`LEVEL_SHRINK_ENSEMBLE` only under *fleet-wide* pressure —
+        shrinking the served ensemble is the privacy-relevant step and
+        must be a last resort, not a local reflex.  Lowering the cap
+        below the current level steps the controller straight down to
+        the cap (counted as recoveries, so transitions stay auditable).
+        """
+        return self._max_level
+
+    @max_level.setter
+    def max_level(self, value: int) -> None:
+        if not LEVEL_NORMAL <= value <= LEVEL_SHRINK_ENSEMBLE:
+            raise ValueError(f"max_level must be in [{LEVEL_NORMAL}, "
+                             f"{LEVEL_SHRINK_ENSEMBLE}], got {value}")
+        self._max_level = int(value)
+        if self.level > self._max_level:
+            self.recoveries += self.level - self._max_level
+            self.level = self._max_level
 
     @property
     def level_name(self) -> str:
@@ -124,7 +151,7 @@ class OverloadController:
             self._over += 1
             self._under = 0
             if (self._over >= self.policy.patience_ticks
-                    and self.level < len(LADDER) - 1):
+                    and self.level < min(len(LADDER) - 1, self._max_level)):
                 self.level += 1
                 self.escalations += 1
                 self._over = 0

@@ -183,6 +183,28 @@ class RateLimiter:
 _DEFAULT_LIMIT = object()
 
 
+def build_client(head, tail, *, selector=None, noise=None,
+                 noise_seed: int | None = None,
+                 noise_shape: tuple[int, ...] | None = None,
+                 noise_sigma: float = 0.1) -> Client:
+    """Assemble a :class:`~repro.ci.pipeline.Client` from its parts.
+
+    ``noise_seed`` (with ``noise_shape``) draws the client its own fixed
+    Gaussian map — per-tenant noise without sharing RNG state — unless an
+    explicit ``noise`` module is given.  Shared by
+    :meth:`InferenceService.open_session` and the fleet front-end, so
+    both build byte-identical clients from the same spec.
+    """
+    if noise is None and noise_seed is not None:
+        from repro.core.noise import FixedGaussianNoise
+        from repro.utils.rng import new_rng
+        if noise_shape is None:
+            raise ValueError("noise_seed requires noise_shape")
+        noise = FixedGaussianNoise(noise_shape, noise_sigma,
+                                   rng=new_rng(noise_seed))
+    return Client(head, tail, noise=noise, selector=selector)
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingConfig:
     """Scheduler shape of one deployment (presets carry one of these).
@@ -217,9 +239,23 @@ class ServingConfig:
         object.__setattr__(self, "rate_limit", RateLimit.parse(self.rate_limit))
 
 
+#: :class:`ServiceStats` fields that are *levels*, not counters: fleet
+#: aggregation takes their max, everything else sums.
+_LEVEL_STATS = frozenset({"peak_coalesced", "overload_level"})
+
+
 @dataclasses.dataclass
 class ServiceStats:
-    """Aggregate scheduler counters (transfer totals live per session)."""
+    """Aggregate scheduler counters (transfer totals live per session).
+
+    Stats are composable: ``a + b`` returns combined counters and
+    ``a.merge(b)`` accumulates in place, so per-replica stats roll up
+    into fleet totals (``sum(stats_list, ServiceStats())``).  Merging is
+    field-driven over ``dataclasses.fields``, so a counter added later
+    can never be silently dropped from fleet aggregation: every field
+    sums, except the *level* fields (:data:`_LEVEL_STATS` — current
+    ladder level and peak group size), which take the max.
+    """
 
     ticks: int = 0
     served_requests: int = 0
@@ -245,6 +281,33 @@ class ServiceStats:
     def mean_coalesced(self) -> float:
         """Average requests per stacked pass — the amortisation factor."""
         return self.served_requests / self.ticks if self.ticks else 0.0
+
+    def merge(self, other: "ServiceStats") -> "ServiceStats":
+        """Accumulate ``other`` into this instance (returns self).
+
+        Every dataclass field participates: counters sum, level fields
+        (:data:`_LEVEL_STATS`) take the max — so no counter, present or
+        future, can fall out of fleet-wide totals.
+        """
+        for field in dataclasses.fields(self):
+            mine, theirs = getattr(self, field.name), getattr(other, field.name)
+            if field.name in _LEVEL_STATS:
+                setattr(self, field.name, max(mine, theirs))
+            else:
+                setattr(self, field.name, mine + theirs)
+        return self
+
+    def __add__(self, other: "ServiceStats") -> "ServiceStats":
+        """Combined counters of two stat blocks (neither is mutated)."""
+        if not isinstance(other, ServiceStats):
+            return NotImplemented
+        return dataclasses.replace(self).merge(other)
+
+    def __radd__(self, other) -> "ServiceStats":
+        """Support plain ``sum(stats_list)`` (0 + stats)."""
+        if other == 0:
+            return dataclasses.replace(self)
+        return NotImplemented
 
 
 class InferenceService:
@@ -345,21 +408,25 @@ class InferenceService:
         service-wide default applies; an explicit ``None`` means
         unlimited.
         """
+        client = build_client(head, tail, selector=selector, noise=noise,
+                              noise_seed=noise_seed, noise_shape=noise_shape,
+                              noise_sigma=noise_sigma)
+        session = self.adopt_session(client, channel=channel, codec=codec,
+                                     weight=weight, rate_limit=rate_limit)
         if noise is None and noise_seed is not None:
-            from repro.core.noise import FixedGaussianNoise
-            from repro.utils.rng import new_rng
-            if noise_shape is None:
-                raise ValueError("noise_seed requires noise_shape")
-            noise = FixedGaussianNoise(noise_shape, noise_sigma,
-                                       rng=new_rng(noise_seed))
-        client = Client(head, tail, noise=noise, selector=selector)
-        return self.adopt_session(client, channel=channel, codec=codec,
-                                  weight=weight, rate_limit=rate_limit)
+            # Checkpointable noise provenance: a failover replica can
+            # redraw the identical map from (seed, shape, sigma).
+            session.noise_seed = int(noise_seed)
+            session.noise_shape = tuple(int(d) for d in noise_shape)
+            session.noise_sigma = float(noise_sigma)
+        return session
 
     def adopt_session(self, client: Client, channel: Channel | None = None,
                       codec: Codec | int | str | None = None,
                       weight: float = 1.0,
                       rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                      session_id: int | None = None,
+                      epoch: int = 0,
                       ) -> Session:
         """Register an already-built :class:`Client` as a tenant.
 
@@ -370,6 +437,12 @@ class InferenceService:
             weight: fair-share weight for weight-aware schedulers.
             rate_limit: token-bucket override; omitted applies the
                 service-wide default, explicit ``None`` means unlimited.
+            session_id: explicit id (fleet front-ends allocate ids
+                globally so a session keeps its id across replicas);
+                omitted, the service burns its next local id.
+            epoch: the session's incarnation epoch — 0 for a first open,
+                bumped by checkpoint restore so a failed-over session
+                never replays its predecessor's retry-jitter sequence.
 
         Returns:
             The opened :class:`Session`; its limiter (if any) starts with
@@ -379,14 +452,31 @@ class InferenceService:
         limit = RateLimit.parse(self.config.rate_limit
                                 if rate_limit is _DEFAULT_LIMIT else rate_limit)
         limiter = RateLimiter(limit, now=self.now) if limit is not None else None
-        session = Session(self._next_session_id, client, self, channel=channel,
-                          codec=codec, weight=weight, limiter=limiter)
-        # Register only after every validation (including the scheduler's
-        # own weight check) has passed, so a failed adopt leaves no live
-        # session behind and never burns/reuses a session id.
+        if session_id is None:
+            session_id = self._next_session_id
+        session = Session(session_id, client, self, channel=channel,
+                          codec=codec, weight=weight, limiter=limiter,
+                          epoch=epoch)
+        return self.register_session(session)
+
+    def register_session(self, session: Session) -> Session:
+        """Register an externally-built :class:`Session` with this service.
+
+        The registration path under :meth:`adopt_session`, exposed for
+        fleet front-ends and checkpoint restore, which construct the
+        session themselves (explicit id, restored epoch/state) and home
+        it on a replica.  Registration happens only after every
+        validation (including the scheduler's own weight check) has
+        passed, so a failed adopt leaves no live session behind and
+        never burns/reuses a session id.
+        """
+        if session.session_id in self._sessions:
+            raise ValueError(f"session id {session.session_id} is already "
+                             f"registered with this service")
         self.scheduler.set_session_weight(session.session_id, session.weight)
         self._sessions[session.session_id] = session
-        self._next_session_id += 1
+        self._next_session_id = max(self._next_session_id,
+                                    session.session_id + 1)
         return session
 
     def close_session(self, session: Session) -> None:

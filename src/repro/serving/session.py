@@ -46,13 +46,23 @@ class Session:
     ``limiter`` its token bucket, enforced by the service at ``submit``
     time.  Both live for exactly this session: closing it drops the
     bucket, so no tokens leak into a later session.
+
+    ``epoch`` is the session's incarnation number: 0 for a first open,
+    bumped each time the session is restored from a checkpoint onto a
+    replacement replica.  It feeds the retry-jitter RNG so a failed-over
+    session never replays its predecessor's backoff sequence — seeding
+    by session id alone would make every incarnation of a session (and
+    every client retrying after the same replica crash) jitter in
+    lock-step, re-synchronising exactly the retry storm the jitter
+    exists to spread out.
     """
 
     def __init__(self, session_id: int, client: Client, service,
                  channel: Channel | None = None,
                  codec: Codec = Codec.FP32,
                  weight: float = 1.0,
-                 limiter=None):
+                 limiter=None,
+                 epoch: int = 0):
         self.session_id = session_id
         self.client = client
         self.channel = channel if channel is not None else Channel()
@@ -62,6 +72,13 @@ class Session:
             raise ValueError(
                 f"session weight must be finite and >= 0, got {weight}")
         self.limiter = limiter
+        self.epoch = int(epoch)
+        # Noise provenance, recorded by open_session when the noise map
+        # was drawn from a seed; checkpoint capture reads these so a
+        # failover replica can redraw the bit-identical map.
+        self.noise_seed: int | None = None
+        self.noise_shape: tuple[int, ...] | None = None
+        self.noise_sigma: float | None = None
         self._service = service
         self._next_request_id = 0
         self._responses: dict[int, FeatureResponse] = {}
@@ -69,8 +86,9 @@ class Session:
         # Lifecycle state per request id, written by the service at each
         # transition; the conservation sweep in simulate() reads it.
         self._states: dict[int, RequestState] = {}
-        # Deterministic per-session jitter source for retry backoff.
-        self._retry_rng = np.random.default_rng(session_id)
+        # Deterministic per-session jitter source for retry backoff,
+        # decorrelated across incarnations by the epoch.
+        self._retry_rng = np.random.default_rng([session_id, self.epoch])
 
     # -- introspection --------------------------------------------------
 

@@ -243,7 +243,7 @@ class _Pending:
     done: bool = False   # a response reached the client
 
 
-_ARRIVAL, _SUBMIT, _TIMEOUT = 0, 1, 2  # event kinds, in tie-break order
+_ARRIVAL, _SUBMIT, _TIMEOUT, _FAULT = 0, 1, 2, 3  # event kinds, tie-break order
 
 
 def simulate(service: InferenceService, sessions, trace, cost: TickCost,
@@ -433,6 +433,302 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                             retries=retry_attempts,
                             degraded=(service.stats.degraded_responses
                                       - degraded_start))
+
+
+# -- fleet mode ----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class FleetSimulationReport(SimulationReport):
+    """A :class:`SimulationReport` plus the fleet-scope invariants.
+
+    ``duplicate_serves`` counts responses delivered for a request that
+    had already reached its client — the exactly-once violation the
+    fleet's fencing and idempotent dedup exist to prevent; the chaos
+    gate requires it to be **zero**.  ``migrated_sessions`` /
+    ``failovers`` / ``lost_submits`` are deltas over the replay;
+    ``health_log`` is the per-replica health timeline (``(time,
+    replica, state)`` — times rebased to the trace epoch) and
+    ``ticks_by_replica`` attributes every stacked pass to the replica
+    that ran it.  ``completion_times_s`` records when each served
+    response reached its client (same order as ``latencies_s``, rebased
+    to the trace epoch), so goodput can be split around a mid-trace
+    event such as a replica kill.
+    """
+
+    duplicate_serves: int = 0
+    migrated_sessions: int = 0
+    failovers: int = 0
+    lost_submits: int = 0
+    health_log: list[tuple[float, int, str]] = dataclasses.field(
+        default_factory=list)
+    ticks_by_replica: dict[int, int] = dataclasses.field(default_factory=dict)
+    completion_times_s: list[float] = dataclasses.field(default_factory=list)
+
+    def goodput_between(self, start_s: float, end_s: float) -> float:
+        """Completed requests per second inside ``[start_s, end_s)``.
+
+        Times are trace-relative (0 = first arrival epoch); use it to
+        compare goodput before and after a mid-trace replica kill.
+        """
+        if end_s <= start_s:
+            return 0.0
+        served = sum(1 for t in self.completion_times_s
+                     if start_s <= t < end_s)
+        return served / (end_s - start_s)
+
+
+def simulate_fleet(fleet, sessions, trace, cost: TickCost,
+                   default_features: np.ndarray | None = None,
+                   retry: RetryPolicy | None = None,
+                   faults: FaultInjector | None = None
+                   ) -> FleetSimulationReport:
+    """Replay ``trace`` through a :class:`~repro.serving.fleet.ServiceFleet`.
+
+    The :func:`simulate` event loop, promoted to fleet scope: each
+    replica keeps its **own** busy clock (``free_at``), so two replicas
+    really do serve concurrently on virtual time; heartbeats are events
+    (the loop advances to the next scheduled heartbeat when it precedes
+    all traffic, so failure detection never stalls behind an idle
+    trace); and the :class:`~repro.serving.faults.ReplicaFault` schedule
+    of the fault plan fires mid-trace — crash, hang, partition, slow —
+    through :meth:`~repro.serving.fleet.ServiceFleet.apply_fault`.
+
+    A hung or partitioned replica's backlog waits for its window to
+    clear (the loop wakes it then); a fenced replica's backlog is
+    abandoned and recovered only by client retry timeouts re-routing
+    through the ring.  A slow replica's passes cost
+    ``handle.cost_factor`` times more.  The conservation sweep runs
+    fleet-wide: every traced submission must end in exactly one
+    terminal state *across failover*, and ``duplicate_serves`` proves
+    no request was served twice.
+    """
+    faults = faults if faults is not None else fleet.faults
+    session_by_id = {s.session_id: s for s in sessions}
+    latencies: list[float] = []
+    completions: list[float] = []
+    by_session: dict[int, list[float]] = {}
+    tracked: list[_Pending] = []
+    by_key: dict[tuple[int, int], _Pending] = {}
+    ticks_by_replica: dict[int, int] = {}
+    violations = ticks = retry_attempts = duplicates = 0
+    failures_start = fleet.stats.tick_failures
+    degraded_start = fleet.stats.degraded_responses
+    migrated_start = fleet.fleet_stats.migrated_sessions
+    failovers_start = fleet.fleet_stats.failovers
+    lost_start = fleet.fleet_stats.lost_submits
+    health_mark = len(fleet.health_log)
+    base = fleet.now
+    free_at = {rid: base for rid in range(fleet.num_replicas)}
+    makespan = base
+    clock = base
+
+    seq = itertools.count()
+    heap: list[tuple[float, int, int, object]] = []
+    for arrival in sorted(trace, key=lambda a: a.time):
+        heapq.heappush(heap, (base + arrival.time, next(seq), _ARRIVAL,
+                              arrival))
+    if faults is not None:
+        for fault in faults.plan.replica_faults:
+            heapq.heappush(heap, (base + fault.at_s, next(seq), _FAULT,
+                                  fault))
+
+    def push(at: float, kind: int, payload) -> None:
+        heapq.heappush(heap, (at, next(seq), kind, payload))
+
+    def attempt(pend: _Pending) -> None:
+        nonlocal retry_attempts
+        pend.attempts += 1
+        if pend.attempts > 1:
+            retry_attempts += 1
+        try:
+            pend.session.submit_features(pend.features, record=pend.record,
+                                         deadline=pend.deadline,
+                                         request_id=pend.request_id)
+        except ServingError as exc:
+            if (retry is not None and pend.attempts < retry.max_attempts
+                    and retry.retryable(exc)):
+                push(clock + retry.delay_s(pend.attempts - 1,
+                                           pend.session._retry_rng),
+                     _SUBMIT, pend)
+            return
+        if retry is not None and retry.timeout_s is not None:
+            push(clock + retry.timeout_s, _TIMEOUT, pend)
+
+    def next_tick() -> tuple[float, object | None]:
+        """Earliest (time, handle) a replica could tick, or (inf, None)."""
+        best_at, best = math.inf, None
+        for rid in sorted(free_at):
+            handle = fleet.handle(rid)
+            if not handle.alive(clock) or not handle.service.pending:
+                continue
+            at = max(clock, free_at[rid])
+            # A hung/partitioned replica wakes when its windows clear
+            # (iterate: waking from one window can land inside the other).
+            while True:
+                woken = at
+                if handle.hung(woken):
+                    woken = max(woken, handle.hung_until)
+                if handle.partitioned(woken):
+                    woken = max(woken, handle.partitioned_until)
+                if woken == at:
+                    break
+                at = woken
+            at = max(at, handle.service.scheduler.next_event_time(at))
+            if at < best_at:
+                best_at, best = at, handle
+        return best_at, best
+
+    while True:
+        next_event = heap[0][0] if heap else math.inf
+        tick_at, tick_handle = next_tick()
+        heartbeat_at = (fleet.next_heartbeat_time()
+                        if (heap or tick_handle is not None) else math.inf)
+        soonest = min(next_event, tick_at, heartbeat_at)
+        if math.isinf(soonest):
+            break
+
+        if heartbeat_at < min(next_event, tick_at):
+            clock = max(clock, heartbeat_at)
+            fleet.advance_clock(clock)  # pumps: heartbeats, detection, ckpts
+            continue
+
+        if next_event <= tick_at:
+            at, _, kind, payload = heapq.heappop(heap)
+            clock = max(clock, at)
+            fleet.advance_clock(clock)
+            if kind == _ARRIVAL:
+                arrival = payload
+                session = sessions[arrival.session_index]
+                if arrival.close_session:
+                    fleet.close_session(session)
+                    continue
+                features = (arrival.features if arrival.features is not None
+                            else default_features)
+                if features is None:
+                    raise ValueError("arrival carries no features and no "
+                                     "default_features was given")
+                deadline = (clock + arrival.deadline_s
+                            if arrival.deadline_s is not None else None)
+                pend = _Pending(session=session,
+                                request_id=session.reserve_request_id(),
+                                features=features, record=arrival.record,
+                                deadline=deadline, arrived=clock)
+                tracked.append(pend)
+                by_key[(session.session_id, pend.request_id)] = pend
+                delay = 0.0
+                if faults is not None:
+                    delay = (faults.submission_delay()
+                             + faults.session_stall(session.session_id))
+                if delay > 0.0:
+                    push(clock + delay, _SUBMIT, pend)
+                else:
+                    attempt(pend)
+            elif kind == _SUBMIT:
+                if not payload.done:
+                    attempt(payload)
+            elif kind == _TIMEOUT:
+                pend = payload
+                if (not pend.done and retry is not None
+                        and pend.attempts < retry.max_attempts
+                        and pend.session.request_state(pend.request_id)
+                        is RequestState.QUEUED):
+                    attempt(pend)  # re-arms its own timeout on success
+            else:  # _FAULT: the replica-level schedule strikes
+                fault = payload
+                fleet.apply_fault(dataclasses.replace(fault,
+                                                      at_s=clock))
+            continue
+
+        # A replica tick fires.
+        clock = tick_at
+        fleet.advance_clock(clock)
+        handle = tick_handle
+        if not handle.tickable(clock) or not handle.service.pending:
+            continue  # the pump fenced it (or drained it) at this instant
+        service = handle.service
+        rid = handle.replica_id
+        failures_before = service.stats.tick_failures
+        failed_samples_before = service.stats.tick_failure_samples
+        expired_before = service.stats.expired_requests
+        responses = service.tick()
+        factor = handle.cost_factor(clock)
+        if not responses:
+            if service.stats.tick_failures > failures_before:
+                attempted = (service.stats.tick_failure_samples
+                             - failed_samples_before)
+                free_at[rid] = clock + cost.pass_seconds(attempted) * factor
+                continue
+            if service.stats.expired_requests > expired_before:
+                continue
+            free_at[rid] = math.inf  # defensive: scheduler declined to group
+            continue
+        ticks += 1
+        ticks_by_replica[rid] = ticks_by_replica.get(rid, 0) + 1
+        group_samples = sum(r.outputs[0].shape[0] for r in responses)
+        pass_done = clock + cost.pass_seconds(group_samples) * factor
+        free_at[rid] = pass_done
+        for response in responses:
+            done = pass_done + cost.per_request_downlink_s
+            makespan = max(makespan, done)
+            key = (response.session_id, response.request_id)
+            pend = by_key.get(key)
+            arrived, deadline = ((pend.arrived, pend.deadline) if pend
+                                 else (clock, None))
+            if pend is not None:
+                if pend.done:
+                    # Second serve of one request: count the exactly-once
+                    # violation, consume the response, never re-measure.
+                    duplicates += 1
+                    session = session_by_id.get(response.session_id)
+                    if session is not None:
+                        session.take_response(response.request_id)
+                    continue
+                pend.done = True
+            latencies.append(done - arrived)
+            completions.append(done - base)
+            by_session.setdefault(response.session_id, []).append(done - arrived)
+            if deadline is not None and done > deadline:
+                violations += 1
+            session = session_by_id.get(response.session_id)
+            if session is not None:
+                session.take_response(response.request_id)
+
+    # Fleet-wide conservation sweep: across kills, hangs, partitions and
+    # failovers, every traced submission must end in exactly one terminal
+    # state.  Work stranded on a fenced replica past its retry budget
+    # resolves as FAILED — never silently dropped.
+    terminal_counts = {state.value: 0 for state in TERMINAL_STATES}
+    for pend in tracked:
+        state = pend.session.request_state(pend.request_id)
+        if state is None or not state.terminal:
+            pend.session._resolve(pend.request_id, RequestState.FAILED)
+            state = RequestState.FAILED
+        terminal_counts[state.value] += 1
+    conservation_ok = (sum(terminal_counts.values()) == len(tracked)
+                       and duplicates == 0)
+
+    stats = fleet.stats
+    return FleetSimulationReport(
+        scheduler=fleet.replicas[0].config.scheduler,
+        latencies_s=latencies, violations=violations,
+        rejected=terminal_counts[RequestState.REJECTED.value],
+        ticks=ticks, makespan_s=makespan - base,
+        throttled=terminal_counts[RequestState.THROTTLED.value],
+        latencies_by_session=by_session, submitted=len(tracked),
+        terminal_counts=terminal_counts, conservation_ok=conservation_ok,
+        tick_failures=stats.tick_failures - failures_start,
+        retries=retry_attempts,
+        degraded=stats.degraded_responses - degraded_start,
+        duplicate_serves=duplicates,
+        migrated_sessions=(fleet.fleet_stats.migrated_sessions
+                           - migrated_start),
+        failovers=fleet.fleet_stats.failovers - failovers_start,
+        lost_submits=fleet.fleet_stats.lost_submits - lost_start,
+        health_log=[(t - base, rid, state)
+                    for t, rid, state in fleet.health_log[health_mark:]],
+        ticks_by_replica=ticks_by_replica,
+        completion_times_s=completions)
 
 
 # -- trace generators ----------------------------------------------------
