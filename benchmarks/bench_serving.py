@@ -28,6 +28,15 @@ free, then with one replica crashed mid-trace — and records goodput,
 failover blast radius (sessions migrated), duplicate serves (must be
 zero) and fleet-wide request conservation.
 
+A fifth, **privacy** mode (``run_privacy_benchmark``) measures the
+:mod:`repro.privacy` tier on a *trained* tiny Ensembler deployment: how
+useful a once-leaked secret subset stays against static vs per-query
+rotating selectors (``subset_leak_ssim``), the inversion-SSIM curve as
+the budget ladder raises noise, a budget-exhaustion replay (every served
+query charged exactly once, submits past exhaustion refused with
+``PrivacyExhaustedError``), the clean-accuracy cost of rotation, and one
+§III-D brute-force sweep for the record.
+
 Run as pytest (``pytest benchmarks/bench_serving.py -s``) or directly
 (``python benchmarks/bench_serving.py``).  Either way records are appended
 to the ``BENCH_serving.json`` history at the repo root; the pytest entries
@@ -52,14 +61,27 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 from _bench_utils import write_record as _write_record  # noqa: E402
 from bench_ensemble import build_bodies, time_fn  # noqa: E402
 from repro import nn  # noqa: E402
+from repro.attacks import (  # noqa: E402
+    AttackConfig,
+    InversionAttack,
+    brute_force_attack,
+    subset_leak_ssim,
+)
 from repro.ci import Server  # noqa: E402
 from repro.ci.pipeline import Client  # noqa: E402
+from repro.core.selector import Selector  # noqa: E402
+from repro.core.training import EnsemblerConfig, TrainingConfig  # noqa: E402
+from repro.data.synthetic import cifar10_like  # noqa: E402
+from repro.defenses import fit_ensembler  # noqa: E402
+from repro.metrics import batch_ssim  # noqa: E402
+from repro.privacy import PrivacyBudget, PrivacyPolicy  # noqa: E402
 from repro.serving import (  # noqa: E402
     DeadlineScheduler,
     FaultInjector,
     FaultPlan,
     FleetPolicy,
     InferenceService,
+    PrivacyExhaustedError,
     ReplicaFault,
     RetryPolicy,
     ServiceFleet,
@@ -68,6 +90,7 @@ from repro.serving import (  # noqa: E402
     simulate,
     simulate_fleet,
 )
+from repro.utils.rng import new_rng  # noqa: E402
 
 NUM_NETS = 8
 SESSION_COUNTS = (2, 4, 8)
@@ -492,6 +515,278 @@ def print_fleet_chaos_record(record: dict) -> None:
           f"before-kill {chaos['goodput_before_kill_rps']:.0f} r/s)")
 
 
+PRIVACY_NUM_NETS = 6
+PRIVACY_SUBSET_SIZE = 2
+PRIVACY_QUERIES = 12
+PRIVACY_Q_BUDGET = 6
+PRIVACY_ALPHA = 2.0
+PRIVACY_EPS = 1000.0  # loose: the query budget is the binding one
+PRIVACY_SIGMA = 0.1
+
+
+def _build_privacy_fixture():
+    """A *trained* tiny Ensembler deployment (stages 1-3) plus its data.
+
+    Unlike the protocol-plane fixtures above, the privacy benchmark needs
+    real model halves: the subset-leak score reads actual downlink feature
+    maps, the ladder part inverts real uploads and the accuracy delta runs
+    the trained tail over rotated subsets.
+    """
+    from repro.models.resnet import ResNetConfig
+
+    model = ResNetConfig(num_classes=4, stem_channels=8,
+                         stage_channels=(8, 16), blocks_per_stage=(1, 1),
+                         use_maxpool=True)
+    config = EnsemblerConfig(
+        num_nets=PRIVACY_NUM_NETS, num_active=PRIVACY_SUBSET_SIZE,
+        sigma=PRIVACY_SIGMA,
+        stage1=TrainingConfig(epochs=1, batch_size=16, lr=0.05),
+        stage3=TrainingConfig(epochs=1, batch_size=16, lr=0.05))
+    bundle = cifar10_like(size=16, train_per_class=8, test_per_class=8,
+                          num_classes=4, rng=new_rng(4))
+    defense = fit_ensembler(bundle, model, config=config, rng=new_rng(4))
+    return defense, bundle
+
+
+def _privacy_session(defense, privacy=None, rotation=None):
+    """One fresh single-tenant service over the trained deployment.
+
+    Each call clones the secret selector so a rotating session never
+    mutates the fitted defense's own selector (rotation re-draws the
+    client's subset in place).
+    """
+    service = InferenceService(Server(list(defense.bodies)), max_batch=1,
+                               max_queue=4 * PRIVACY_QUERIES)
+    client = Client(defense.head, defense.tail, noise=defense.noise,
+                    selector=Selector(defense.selector.num_nets,
+                                      defense.selector.indices))
+    session = service.adopt_session(client, privacy=privacy,
+                                    rotation=rotation)
+    return service, session
+
+
+def _serve_captured(service, session, queries):
+    """Serve one request per wave, capturing what the adversary sees.
+
+    Returns the per-query raw downlinks (all N feature maps) and a
+    snapshot of the selector in force when each query was delivered.
+    """
+    responses, selectors = [], []
+    for images in queries:
+        request_id = session.submit(images)
+        service.run_until_idle()
+        response = session.take_response(request_id)
+        responses.append([np.asarray(arr, dtype=np.float64)
+                          for arr in response.decoded()])
+        selectors.append(Selector(session.selector.num_nets,
+                                  session.selector.indices))
+    return responses, selectors
+
+
+def _subset_leak_comparison(defense, bundle) -> dict:
+    """Static vs per-query-rotating usefulness of a once-leaked subset.
+
+    The adversary is granted the strongest §III-D outcome — the exact
+    secret subset at session open — and decodes every later downlink with
+    it.  Against a static selector that stale knowledge stays perfect
+    (SSIM 1.0 per query); per-query rotation re-draws the secret, so the
+    leaked subset aligns only on the overlapping channels.
+    """
+    queries = [bundle.test.images[i:i + 1] for i in range(PRIVACY_QUERIES)]
+    rows = {}
+    for mode, rotation in (("static", None), ("rotating", "per_query")):
+        service, session = _privacy_session(defense, rotation=rotation)
+        leaked = Selector(session.selector.num_nets, session.selector.indices)
+        responses, selectors = _serve_captured(service, session, queries)
+        rows[mode] = {
+            "ssim_vs_leaked": subset_leak_ssim(responses, selectors, leaked),
+            "mean_overlap": float(np.mean([leaked.overlap(s)
+                                           for s in selectors])),
+            "rotations": service.stats.selector_rotations,
+        }
+    return rows
+
+
+def _ladder_attack_curve(defense, bundle, attack) -> list[dict]:
+    """Inversion SSIM of the uplink as the budget ladder engages.
+
+    One single-net decoder is trained at the deployment's base noise;
+    the same decoder then inverts uploads encoded at increasing budget
+    depletion.  Past ``raise_noise_at`` the client adds independent
+    extra noise, so reconstruction quality degrades as ε drains — the
+    "SSIM vs queries spent" view of graceful degradation.
+    """
+    artifacts = attack.attack_single(defense.bodies[0])
+    probe = bundle.test.images[:8]
+    budget = PrivacyBudget(PrivacyPolicy(PRIVACY_ALPHA, PRIVACY_EPS,
+                                         PRIVACY_Q_BUDGET),
+                           base_sigma=PRIVACY_SIGMA, noise_boost=2.0)
+    _, session = _privacy_session(defense, privacy=budget)
+    curve = []
+    for fraction in (0.0, 0.6, 0.9):
+        budget.accountant.spent = fraction * PRIVACY_EPS
+        features = session.encode(probe)
+        recon = artifacts.reconstruct(features)
+        curve.append({
+            "fraction_spent": fraction,
+            "level": budget.level_name,
+            "extra_sigma": budget.extra_sigma(PRIVACY_SIGMA),
+            "ssim": batch_ssim(probe.astype(np.float64),
+                               recon.astype(np.float64)),
+        })
+    return curve
+
+
+def _exhaustion_replay(defense, bundle) -> dict:
+    """Drive one metered session through its whole budget and past it.
+
+    Every served query must be charged exactly once; once ``q_budget``
+    queries are charged, every further submit must raise the typed
+    :class:`~repro.serving.errors.PrivacyExhaustedError` — never be
+    silently served.  The per-query trace records the ladder walking
+    normal -> raise-noise -> shrink-map before the terminal refusal.
+    """
+    budget = PrivacyBudget(PrivacyPolicy(PRIVACY_ALPHA, PRIVACY_EPS,
+                                         PRIVACY_Q_BUDGET),
+                           base_sigma=PRIVACY_SIGMA)
+    service, session = _privacy_session(defense, privacy=budget,
+                                        rotation="per_query")
+    images = bundle.test.images
+    served = refused = 0
+    trace = []
+    for i in range(PRIVACY_QUERIES):
+        query = images[i % len(images):i % len(images) + 1]
+        try:
+            request_id = session.submit(query)
+        except PrivacyExhaustedError:
+            refused += 1
+            continue
+        service.run_until_idle()
+        if session.take_response(request_id) is not None:
+            served += 1
+            trace.append({"query": i, "level": session.privacy.level_name,
+                          "fraction_spent": session.privacy.fraction_spent})
+    stats = service.stats
+    return {
+        "q_budget": PRIVACY_Q_BUDGET,
+        "submitted": PRIVACY_QUERIES,
+        "served": served,
+        "refused": refused,
+        "charged": stats.privacy_charged_queries,
+        "refusals_counted": stats.privacy_refusals,
+        "exhausted_sessions": stats.privacy_exhausted_sessions,
+        "eps_spent": session.privacy.spent,
+        "final_level": session.privacy.level_name,
+        "ladder_trace": trace,
+        "conservation_ok": (served == stats.privacy_charged_queries
+                            and served == PRIVACY_Q_BUDGET
+                            and served + refused == PRIVACY_QUERIES),
+    }
+
+
+def _rotation_accuracy(defense, bundle) -> dict:
+    """Clean-task accuracy through the served pipeline, static vs rotating.
+
+    Both runs serve the same test batches over the wire; the delta is the
+    utility price of re-drawing the subset the stage-3 tail was tuned for.
+    """
+    test = bundle.test
+
+    def served_accuracy(rotation):
+        service, session = _privacy_session(defense, rotation=rotation)
+        correct = 0
+        for start in range(0, len(test.images), 8):
+            images = test.images[start:start + 8]
+            labels = test.labels[start:start + 8]
+            request_id = session.submit(images)
+            service.run_until_idle()
+            logits = session.result(request_id)
+            correct += int((logits.argmax(axis=1) == labels).sum())
+        return correct / len(test.images)
+
+    static_acc = served_accuracy(None)
+    rotating_acc = served_accuracy("per_query")
+    return {
+        "static": static_acc,
+        "rotating": rotating_acc,
+        "delta": abs(static_acc - rotating_acc),
+    }
+
+
+def run_privacy_benchmark() -> dict:
+    """Privacy record: rotation vs static subset leak, ladder, exhaustion.
+
+    Fully deterministic — the trainer, the data, the rotation draws (keyed
+    by (session_id, epoch, rotation_index)) and the brute-force sweep all
+    run on fixed seeds, so the gates below measure design, not noise.
+    """
+    defense, bundle = _build_privacy_fixture()
+    attack_config = AttackConfig(
+        shadow=TrainingConfig(epochs=1, batch_size=16, lr=2e-3,
+                              optimizer="adam"),
+        decoder=TrainingConfig(epochs=1, batch_size=16, lr=3e-3,
+                               optimizer="adam"),
+        decoder_width=16)
+    attack = InversionAttack(defense.model_config, bundle.image_shape,
+                             bundle.train, attack_config, rng=new_rng(9))
+    outcome = brute_force_attack(defense, attack, bundle.test.images[:8],
+                                 known_p=PRIVACY_SUBSET_SIZE)
+    best_subset, best_metrics = outcome.best("ssim")
+    return {
+        "benchmark": "serving_privacy",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_nets": PRIVACY_NUM_NETS,
+        "subset_size": PRIVACY_SUBSET_SIZE,
+        "num_queries": PRIVACY_QUERIES,
+        "policy": {"alpha": PRIVACY_ALPHA, "eps": PRIVACY_EPS,
+                   "q_budget": PRIVACY_Q_BUDGET},
+        "base_sigma": PRIVACY_SIGMA,
+        "subset_leak": _subset_leak_comparison(defense, bundle),
+        "ladder": _ladder_attack_curve(defense, bundle, attack),
+        "exhaustion": _exhaustion_replay(defense, bundle),
+        "accuracy": _rotation_accuracy(defense, bundle),
+        "brute_force": {
+            "search_space": outcome.search_space,
+            "subsets_tried": outcome.subsets_tried,
+            "best_subset": list(best_subset),
+            "best_ssim": best_metrics.ssim,
+            "found_secret": tuple(best_subset) == defense.selector.indices,
+        },
+    }
+
+
+def print_privacy_record(record: dict) -> None:
+    leak = record["subset_leak"]
+    print(f"\nprivacy benchmark (N={record['num_nets']} bodies, "
+          f"P={record['subset_size']}, {record['num_queries']} queries, "
+          f"q_budget={record['policy']['q_budget']})")
+    print(f"{'selector':>9}  {'leaked-subset SSIM':>18}  "
+          f"{'mean overlap':>12}  {'rotations':>9}")
+    for mode in ("static", "rotating"):
+        row = leak[mode]
+        print(f"{mode:>9}  {row['ssim_vs_leaked']:>18.4f}  "
+              f"{row['mean_overlap']:>12.3f}  {row['rotations']:>9}")
+    ladder = ", ".join(
+        f"{row['fraction_spent']:.0%} spent [{row['level']}] "
+        f"SSIM {row['ssim']:.3f}" for row in record["ladder"])
+    print(f"ladder inversion curve: {ladder}")
+    exhaustion = record["exhaustion"]
+    print(f"exhaustion: served {exhaustion['served']}/"
+          f"{exhaustion['q_budget']} budgeted, refused "
+          f"{exhaustion['refused']} of {exhaustion['submitted']} submits, "
+          f"charged {exhaustion['charged']}, final level "
+          f"{exhaustion['final_level']}, conserved "
+          f"{exhaustion['conservation_ok']}")
+    accuracy = record["accuracy"]
+    print(f"clean accuracy: static {accuracy['static']:.3f} vs rotating "
+          f"{accuracy['rotating']:.3f} (delta {accuracy['delta']:.3f})")
+    brute = record["brute_force"]
+    print(f"brute force (§III-D): tried {brute['subsets_tried']}/"
+          f"{brute['search_space']} subsets, best SSIM "
+          f"{brute['best_ssim']:.3f}, secret found: "
+          f"{brute['found_secret']}")
+
+
 def run_scheduler_benchmark(num_sessions=8, num_nets=NUM_NETS, width=WIDTH,
                             spatial=SPATIAL, requests_per_session=4,
                             codec_batch=8, repeats: int = 5) -> dict:
@@ -661,6 +956,45 @@ def test_fleet_chaos():
         f"1/{record['num_replicas']}")
 
 
+def test_privacy_defense():
+    """Acceptance bars for the privacy tier: a once-leaked subset decodes
+    static-selector traffic perfectly (SSIM 1.0) but per-query rotation
+    degrades it; exhausted sessions are refused, never silently served,
+    with every served query charged exactly once; and rotation costs at
+    most 0.25 clean accuracy on the tiny fixture."""
+    record = run_privacy_benchmark()
+    write_record(record)
+    print_privacy_record(record)
+    leak = record["subset_leak"]
+    assert leak["static"]["ssim_vs_leaked"] >= 0.999, (
+        f"a leaked subset must decode static traffic perfectly, got SSIM "
+        f"{leak['static']['ssim_vs_leaked']:.4f}")
+    assert leak["rotating"]["ssim_vs_leaked"] <= leak["static"]["ssim_vs_leaked"] - 0.05, (
+        f"per-query rotation must degrade the leaked subset "
+        f"(rotating SSIM {leak['rotating']['ssim_vs_leaked']:.4f} vs static "
+        f"{leak['static']['ssim_vs_leaked']:.4f})")
+    assert leak["rotating"]["rotations"] >= PRIVACY_QUERIES - 1
+    exhaustion = record["exhaustion"]
+    assert exhaustion["conservation_ok"], (
+        f"privacy budget not conserved: served {exhaustion['served']}, "
+        f"charged {exhaustion['charged']}, q_budget "
+        f"{exhaustion['q_budget']}")
+    assert exhaustion["refused"] >= 1, \
+        "submits past exhaustion were silently served"
+    assert exhaustion["refused"] == exhaustion["refusals_counted"]
+    assert exhaustion["exhausted_sessions"] == 1
+    levels = [row["level"] for row in exhaustion["ladder_trace"]]
+    assert "raise-noise" in levels and "shrink-map" in levels, (
+        f"the budget ladder never engaged before exhaustion: {levels}")
+    by_fraction = {row["fraction_spent"]: row for row in record["ladder"]}
+    assert by_fraction[0.0]["extra_sigma"] == 0.0
+    assert by_fraction[0.6]["extra_sigma"] > 0.0, \
+        "raise-noise level added no extra uplink noise"
+    assert record["accuracy"]["delta"] <= 0.25, (
+        f"rotation costs {record['accuracy']['delta']:.3f} clean accuracy "
+        f"(> 0.25 tolerance)")
+
+
 if __name__ == "__main__":
     rec = run_benchmark()
     out = write_record(rec)
@@ -674,4 +1008,7 @@ if __name__ == "__main__":
     fleet = run_fleet_chaos_benchmark()
     write_record(fleet)
     print_fleet_chaos_record(fleet)
+    privacy = run_privacy_benchmark()
+    write_record(privacy)
+    print_privacy_record(privacy)
     print(f"\nrecords written to {out}")

@@ -4,12 +4,13 @@
 Two checks, both intended for CI (which also uploads ``docs/`` plus the
 rendered API text as a workflow artifact):
 
-* **pydoc render** — import every ``repro.serving`` module and render its
-  documentation with :mod:`pydoc` into ``build/docs-api/``.  This catches
-  signature drift the moment it happens: a public class/function whose
-  import breaks, or whose docstring disappears, fails the build.  Public
-  API members (everything in ``repro.serving.__all__`` and the public
-  methods of exported classes) must carry docstrings.
+* **pydoc render** — import every ``repro.serving`` and ``repro.privacy``
+  module and render its documentation with :mod:`pydoc` into
+  ``build/docs-api/``.  This catches signature drift the moment it
+  happens: a public class/function whose import breaks, or whose
+  docstring disappears, fails the build.  Public API members (everything
+  in each package's ``__all__`` and the public methods of exported
+  classes) must carry docstrings.
 * **link check** — every *relative* markdown link in ``README.md`` and
   ``docs/*.md`` must resolve to an existing file (external http(s) links
   are not fetched).  Dead links fail the build.
@@ -38,7 +39,15 @@ SERVING_MODULES = (
     "repro.serving.service",
     "repro.serving.session",
     "repro.serving.simulate",
+    "repro.privacy",
+    "repro.privacy.accountant",
+    "repro.privacy.budget",
+    "repro.privacy.rotation",
 )
+
+#: Packages whose ``__all__`` (and exported classes' public methods) must
+#: carry docstrings.
+API_PACKAGES = ("repro.serving", "repro.privacy")
 
 RENDER_DIR = REPO_ROOT / "build" / "docs-api"
 
@@ -67,23 +76,23 @@ def render_api_docs(render_dir: Path = RENDER_DIR) -> list[str]:
 
 
 def check_public_docstrings() -> list[str]:
-    """Every exported serving symbol (and its public methods) has a doc."""
-    import repro.serving as serving
-
+    """Every exported API symbol (and its public methods) has a doc."""
     failures = []
-    for symbol in serving.__all__:
-        obj = getattr(serving, symbol)
-        if not inspect.isclass(obj) and not callable(obj):
-            continue  # constants (SCHEDULERS, WIRE_VERSION)
-        if not inspect.getdoc(obj):
-            failures.append(f"repro.serving.{symbol} has no docstring")
-        if inspect.isclass(obj):
-            for name, member in inspect.getmembers(obj):
-                if name.startswith("_") or not callable(member):
-                    continue
-                if name in vars(obj) and not inspect.getdoc(member):
-                    failures.append(
-                        f"repro.serving.{symbol}.{name} has no docstring")
+    for package_name in API_PACKAGES:
+        package = __import__(package_name, fromlist=["_"])
+        for symbol in package.__all__:
+            obj = getattr(package, symbol)
+            if not inspect.isclass(obj) and not callable(obj):
+                continue  # constants (SCHEDULERS, WIRE_VERSION, PRIVACY_LADDER)
+            if not inspect.getdoc(obj):
+                failures.append(f"{package_name}.{symbol} has no docstring")
+            if inspect.isclass(obj):
+                for name, member in inspect.getmembers(obj):
+                    if name.startswith("_") or not callable(member):
+                        continue
+                    if name in vars(obj) and not inspect.getdoc(member):
+                        failures.append(
+                            f"{package_name}.{symbol}.{name} has no docstring")
     return failures
 
 
@@ -120,8 +129,9 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\ndocs check ok: serving API renders with full docstring "
-          "coverage; all relative links in README.md and docs/ resolve")
+    print("\ndocs check ok: serving and privacy APIs render with full "
+          "docstring coverage; all relative links in README.md and docs/ "
+          "resolve")
     return 0
 
 

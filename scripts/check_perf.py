@@ -30,6 +30,12 @@ benchmarks live in ``benchmarks/``):
   exactly one terminal state across failover, serve no request twice
   (``duplicate_serves == 0``), and migrate at most half the live
   sessions (the consistent-hash ring bounds the blast radius near 1/N).
+* **privacy** — a once-leaked secret subset must decode static-selector
+  traffic perfectly (SSIM ~1.0) while per-query rotation degrades it;
+  clean-task accuracy must stay within 0.25 of the static selector; and
+  the budget-exhaustion replay must serve (and charge) exactly
+  ``q_budget`` queries, refusing every later submit with the typed
+  ``PrivacyExhaustedError`` — never silently serving past exhaustion.
 
 Usage: ``python scripts/check_perf.py``
 """
@@ -238,9 +244,49 @@ def check_fleet() -> list[str]:
     return failures
 
 
+def check_privacy() -> list[str]:
+    """Privacy-tier gate: rotation must devalue leaked subsets, budgets
+    must be conserved, and exhausted sessions must be refused.
+
+    Deterministic end to end — the trainer, the data, and the rotation
+    draws (keyed by (session_id, epoch, rotation_index)) are all seeded —
+    so failures are real regressions in the privacy tier, not noise.
+    """
+    bench = load_bench("bench_serving")
+    record = bench.run_privacy_benchmark()
+    bench.write_record(record)
+    bench.print_privacy_record(record)
+    failures = []
+    leak = record["subset_leak"]
+    if leak["static"]["ssim_vs_leaked"] < 0.999:
+        failures.append(
+            f"privacy: a leaked subset must decode static traffic "
+            f"perfectly, got SSIM {leak['static']['ssim_vs_leaked']:.4f}")
+    if leak["rotating"]["ssim_vs_leaked"] > leak["static"]["ssim_vs_leaked"] - 0.05:
+        failures.append(
+            f"privacy: per-query rotation does not degrade the leaked "
+            f"subset (rotating SSIM {leak['rotating']['ssim_vs_leaked']:.4f} "
+            f"vs static {leak['static']['ssim_vs_leaked']:.4f})")
+    exhaustion = record["exhaustion"]
+    if not exhaustion["conservation_ok"]:
+        failures.append(
+            f"privacy: budget not conserved — served {exhaustion['served']} "
+            f"of q_budget {exhaustion['q_budget']}, charged "
+            f"{exhaustion['charged']}")
+    if exhaustion["refused"] < 1:
+        failures.append(
+            "privacy: submits past exhaustion were silently served")
+    if record["accuracy"]["delta"] > 0.25:
+        failures.append(
+            f"privacy: rotation costs {record['accuracy']['delta']:.3f} "
+            f"clean accuracy (> 0.25 tolerance)")
+    return failures
+
+
 def main() -> int:
     failures = (check_ensemble() + check_attack() + check_serving()
-                + check_schedulers() + check_chaos() + check_fleet())
+                + check_schedulers() + check_chaos() + check_fleet()
+                + check_privacy())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
@@ -254,7 +300,9 @@ def main() -> int:
           "fp16 downlink >= 1.9x and int8 >= 3.5x smaller, "
           "chaos goodput >= 0.85x fault-free with request conservation, "
           "fleet goodput >= 0.70x after a replica kill with zero duplicate "
-          "serves and a bounded failover blast radius")
+          "serves and a bounded failover blast radius, "
+          "privacy rotation devalues leaked subsets with conserved budgets "
+          "and hard refusal past exhaustion")
     return 0
 
 

@@ -11,6 +11,8 @@ from repro.attacks.evaluation import (
     evaluate_reconstruction,
     run_adaptive_attack,
     run_single_net_attacks,
+    selected_aggregate,
+    subset_leak_ssim,
 )
 from repro.attacks.mia import AttackArtifacts, AttackConfig, InversionAttack, MemberRngs
 
@@ -27,4 +29,6 @@ __all__ = [
     "expected_attack_work",
     "run_adaptive_attack",
     "run_single_net_attacks",
+    "selected_aggregate",
+    "subset_leak_ssim",
 ]

@@ -100,3 +100,81 @@ def best_single_net(results: list[ReconstructionMetrics],
     if metric not in ("ssim", "psnr"):
         raise ValueError("metric must be 'ssim' or 'psnr'")
     return max(results, key=lambda r: getattr(r, metric))
+
+
+def selected_aggregate(outputs, selector) -> np.ndarray:
+    """Eq. 1 over raw downlink arrays: scale the subset by 1/P and concat.
+
+    ``outputs`` are the N per-body feature maps of one response (plain
+    ``np.ndarray``, channels on axis 1), ``selector`` the subset applied.
+    This is the adversary-side mirror of what the client's tail consumes
+    — used by the subset-leak analysis below, where the adversary holds a
+    *candidate* subset rather than the client's true one.
+    """
+    scale = 1.0 / selector.num_active
+    return np.concatenate([np.asarray(outputs[i]) * scale
+                           for i in selector.indices], axis=1)
+
+
+def _global_ssim(x: np.ndarray, y: np.ndarray, data_range: float) -> float:
+    """SSIM with a single window spanning the whole signal.
+
+    The windowed estimator needs spatial extent; globally-pooled feature
+    *vectors* (the common tail input of ResNet-style bodies) have none,
+    so their structural similarity is the SSIM index computed once over
+    all elements — identical inputs score exactly 1.0, and the usual
+    luminance/contrast/structure constants (k1=0.01, k2=0.03) apply.
+    """
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    mx, my = x.mean(), y.mean()
+    vx, vy = x.var(), y.var()
+    cov = ((x - mx) * (y - my)).mean()
+    return float((2 * mx * my + c1) * (2 * cov + c2)
+                 / ((mx * mx + my * my + c1) * (vx + vy + c2)))
+
+
+def subset_leak_ssim(responses, true_selectors, leaked_selector,
+                     win_size: int = 3) -> float:
+    """How useful a once-leaked subset stays against later traffic.
+
+    The switching-ensembles threat model: an adversary learned the
+    client's secret subset once (side channel, brute-force hit) and now
+    decodes every subsequent downlink with that *stale* subset.  For each
+    response ``t`` the prediction is ``Sel_leaked(downlink_t)`` and the
+    truth ``Sel_{S_t}(downlink_t)`` — under a static selector the two are
+    identical (SSIM 1.0); under rotation they align only on the
+    overlapping channels, so the score drops toward the subset overlap.
+
+    Spatial (NCHW) aggregates score with the windowed
+    :func:`~repro.metrics.batch_ssim`; globally-pooled feature vectors
+    (no spatial extent to slide a window over) fall back to the
+    single-window global SSIM index.
+
+    Args:
+        responses: per-query lists of the N downlink feature maps.
+        true_selectors: the client's subset in force at each query.
+        leaked_selector: the stale subset the adversary decodes with.
+        win_size: SSIM window (3 suits small representation maps).
+
+    Returns:
+        Mean SSIM between predicted and true tail inputs across queries.
+    """
+    if len(responses) != len(true_selectors):
+        raise ValueError(f"{len(responses)} responses vs "
+                         f"{len(true_selectors)} selectors")
+    if not responses:
+        raise ValueError("no responses to score")
+    scores = []
+    for outputs, true_selector in zip(responses, true_selectors):
+        truth = selected_aggregate(outputs, true_selector).astype(np.float64)
+        guess = selected_aggregate(outputs, leaked_selector).astype(np.float64)
+        lo = min(truth.min(), guess.min())
+        hi = max(truth.max(), guess.max())
+        rng = float(hi - lo) if hi > lo else 1.0
+        if truth.ndim == 4 and min(truth.shape[2:]) >= win_size:
+            scores.append(batch_ssim(truth, guess, data_range=rng,
+                                     win_size=win_size))
+        else:
+            scores.append(_global_ssim(truth, guess, data_range=rng))
+    return float(np.mean(scores))

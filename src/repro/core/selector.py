@@ -69,6 +69,21 @@ class Selector:
         scale = 1.0 / self.num_active
         return concat([f * scale for f in features], axis=1)
 
+    def overlap(self, other: "Selector") -> float:
+        """Fraction of this subset shared with ``other`` (Jaccard-free).
+
+        ``|self ∩ other| / P`` — the quantity that bounds how much of a
+        *leaked* subset stays useful after a switching-ensemble rotation
+        re-draws the secret: an adversary decoding with the stale subset
+        aligns only the overlapping channels (see
+        :mod:`repro.privacy.rotation`).
+        """
+        if other.num_nets != self.num_nets:
+            raise ValueError(f"selectors span different ensembles: "
+                             f"{self.num_nets} vs {other.num_nets}")
+        shared = len(set(self._indices) & set(other._indices))
+        return shared / self.num_active
+
     def __repr__(self) -> str:  # does not leak the secret subset
         return f"Selector(num_nets={self.num_nets}, num_active={self.num_active})"
 

@@ -1,0 +1,56 @@
+"""Per-session privacy budgets and switching-ensemble selector rotation.
+
+The serving stack meters bytes, tokens and rate; this package meters
+*privacy*.  :mod:`repro.privacy.accountant` charges each served query a
+Rényi-divergence loss (Gaussian-mechanism RDP scaled by the revealed-map
+fraction and the P-of-N subset entropy) against an ``(alpha, eps,
+q_budget)`` policy; :mod:`repro.privacy.budget` walks an overload-style
+degradation ladder as the budget depletes and refuses exhausted
+sessions; :mod:`repro.privacy.rotation` re-draws the session's secret
+selector subset mid-stream so a leaked subset goes stale.  See
+``docs/privacy.md`` for the math and the checkpoint field layout.
+"""
+
+from repro.privacy.accountant import (
+    PrivacyPolicy,
+    RenyiAccountant,
+    gaussian_rdp,
+    renyi_divergence,
+    subset_entropy,
+)
+from repro.privacy.budget import (
+    LEVEL_EXHAUSTED,
+    LEVEL_NORMAL,
+    LEVEL_RAISE_NOISE,
+    LEVEL_SHRINK_MAP,
+    PRIVACY_LADDER,
+    PrivacyBudget,
+)
+from repro.privacy.rotation import (
+    ROTATION_MODES,
+    STREAM_NOISE,
+    STREAM_ROTATION,
+    RotationPolicy,
+    SelectorRotator,
+    derive_rng,
+)
+
+__all__ = [
+    "LEVEL_EXHAUSTED",
+    "LEVEL_NORMAL",
+    "LEVEL_RAISE_NOISE",
+    "LEVEL_SHRINK_MAP",
+    "PRIVACY_LADDER",
+    "PrivacyBudget",
+    "PrivacyPolicy",
+    "ROTATION_MODES",
+    "RenyiAccountant",
+    "RotationPolicy",
+    "STREAM_NOISE",
+    "STREAM_ROTATION",
+    "SelectorRotator",
+    "derive_rng",
+    "gaussian_rdp",
+    "renyi_divergence",
+    "subset_entropy",
+]

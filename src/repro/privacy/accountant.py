@@ -1,0 +1,235 @@
+"""Rényi-divergence privacy accounting for the serving layer.
+
+A long-lived Ensembler session hands the server-side adversary one noised
+feature map per query; unbounded queries mean unbounded traffic for the
+model-inversion attack of §III.  This module meters that leakage the way
+pMixed meters per-query ensemble releases: a per-query *Rényi privacy
+loss* is charged against an ``(alpha, eps, q_budget)`` policy, and the
+session is refused once either the cumulative ε(α) or the query count is
+spent.
+
+The per-query loss is grounded in the Rényi divergence of the Gaussian
+mechanism (the split-point defense *is* a Gaussian mechanism — the
+uploaded features are ``M_c,h(x) + N(0, σ²)``):
+
+    ε_α(σ) = α · Δ² / (2 σ²)          (Gaussian-mechanism RDP)
+
+scaled by two Ensembler-specific factors:
+
+* the **revealed-map fraction** ``f`` — when the budget ladder masks the
+  downlink feature maps to a fraction of their channels, each query
+  reveals proportionally less, so the effective sensitivity shrinks to
+  ``f · Δ²``;
+* the **subset-entropy divisor** ``1 + log2(C(N, P))`` — the adversary's
+  reconstruction must still search the client's secret P-of-N selection
+  (§III-D); each query's evidence about the fixed secret amortises over
+  that search space, so a larger ensemble stretches the same ε over more
+  queries.
+
+:func:`renyi_divergence` is the underlying pMixed-style divergence over
+explicit distributions; :class:`RenyiAccountant` accumulates the
+closed-form Gaussian charges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivacyPolicy:
+    """The ``(alpha, eps, q_budget)`` contract one session is metered by.
+
+    ``alpha`` is the Rényi order the losses are accounted at, ``eps`` the
+    total ε(α) the session may spend, and ``q_budget`` a hard cap on
+    charged queries — whichever depletes first exhausts the session
+    (pMixed uses the same triple for its per-query ensemble releases).
+    """
+
+    alpha: float = 2.0
+    eps: float = 2.0
+    q_budget: int = 1024
+
+    def __post_init__(self):
+        if not (math.isfinite(self.alpha) and self.alpha > 1.0):
+            raise ValueError(f"alpha must be finite and > 1, got {self.alpha}")
+        if not (math.isfinite(self.eps) and self.eps > 0.0):
+            raise ValueError(f"eps must be finite and > 0, got {self.eps}")
+        if self.q_budget < 1:
+            raise ValueError(f"q_budget must be >= 1, got {self.q_budget}")
+
+    @property
+    def per_query_target(self) -> float:
+        """pMixed's per-query loss target, ``sqrt(2 eps / (q_budget alpha))``.
+
+        Spending exactly this per query depletes ε after ``q_budget``
+        queries under pMixed's sequential-composition bound; the
+        accountant's :meth:`RenyiAccountant.calibrate_sigma` inverts the
+        Gaussian charge to hit ``eps / q_budget`` per query instead (the
+        linear RDP composition this accountant uses).
+        """
+        return math.sqrt(2.0 * self.eps / (self.q_budget * self.alpha))
+
+    @classmethod
+    def parse(cls, value: "PrivacyPolicy | tuple | None"
+              ) -> "PrivacyPolicy | None":
+        """Coerce a user-facing spec to a :class:`PrivacyPolicy`.
+
+        Args:
+            value: ``None`` (no accounting), a :class:`PrivacyPolicy`, or
+                an ``(alpha, eps, q_budget)`` tuple.
+
+        Returns:
+            The parsed policy, or ``None`` for the unmetered spec.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(*value)
+
+
+def renyi_divergence(p, q, alpha: float) -> float:
+    """Rényi divergence ``D_α(p || q)`` between two discrete distributions.
+
+    The pMixed divergence with its three branches: ``alpha = inf`` is the
+    max-divergence ``log max(p/q)``, ``alpha = 1`` the KL divergence, and
+    otherwise ``1/(α-1) · log Σ p^α / q^(α-1)``.  Inputs are normalised
+    defensively; zero-mass ``q`` bins with positive ``p`` mass yield
+    ``inf``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    if np.any(p < 0) or np.any(q < 0):
+        raise ValueError("distributions must be non-negative")
+    p = p / p.sum()
+    q = q / q.sum()
+    support = p > 0
+    if np.any(support & (q == 0)):
+        return math.inf
+    p, q = p[support], q[support]
+    if math.isinf(alpha):
+        return float(np.log(np.max(p / q)))
+    if alpha == 1.0:
+        return float(np.sum(p * np.log(p / q)))
+    if alpha <= 0.0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    return float(np.log(np.sum(p**alpha / q**(alpha - 1.0)))
+                 / (alpha - 1.0))
+
+
+def gaussian_rdp(sigma: float, alpha: float, sensitivity: float = 1.0
+                 ) -> float:
+    """RDP of the Gaussian mechanism: ``ε_α = α Δ² / (2 σ²)``.
+
+    ``sigma = 0`` (no noise) is infinitely revealing and returns ``inf``.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sensitivity < 0:
+        raise ValueError(f"sensitivity must be >= 0, got {sensitivity}")
+    if sigma == 0.0:
+        return math.inf if sensitivity > 0 else 0.0
+    return alpha * sensitivity**2 / (2.0 * sigma**2)
+
+
+def subset_entropy(num_nets: int, subset_size: int) -> float:
+    """The divisor ``1 + log2(C(N, P))`` amortising loss over the secret.
+
+    With a single body (no secret to search) this is 1 — the plain
+    Gaussian charge.
+    """
+    if not 1 <= subset_size <= num_nets:
+        raise ValueError(f"need 1 <= subset_size <= num_nets, got "
+                         f"P={subset_size} of N={num_nets}")
+    return 1.0 + math.log2(math.comb(num_nets, subset_size))
+
+
+class RenyiAccountant:
+    """Per-session accumulator of Gaussian-mechanism Rényi losses.
+
+    Each served query charges :meth:`charge`; the accountant tracks the
+    cumulative ε(α) (``spent``) and the query count (``queries_charged``)
+    against its :class:`PrivacyPolicy` and reports :attr:`exhausted` when
+    either budget depletes.  Accounting is *post-paid*: a query is
+    charged when its response is delivered, so the final query may
+    overshoot ε slightly — every submit after that is refused.
+    """
+
+    def __init__(self, policy: "PrivacyPolicy | tuple | None" = None):
+        parsed = PrivacyPolicy.parse(policy)
+        self.policy = parsed if parsed is not None else PrivacyPolicy()
+        self.spent = 0.0          # cumulative ε(α) charged
+        self.queries_charged = 0  # served queries charged so far
+
+    def query_loss(self, sigma: float, revealed_fraction: float = 1.0,
+                   subset_size: int = 1, num_nets: int = 1) -> float:
+        """One query's Rényi loss at the current noise/mask/ensemble shape.
+
+        Args:
+            sigma: the Gaussian noise level actually applied at the split.
+            revealed_fraction: fraction of downlink feature channels the
+                server reveals (the budget ladder's mask), in (0, 1].
+            subset_size: the client's secret subset size P.
+            num_nets: the served ensemble size N.
+
+        Returns:
+            ``gaussian_rdp(σ, α, √f) / (1 + log2 C(N, P))`` — higher
+            noise, a smaller revealed map and a larger search space all
+            lower the charge.
+        """
+        if not 0.0 < revealed_fraction <= 1.0:
+            raise ValueError(f"revealed_fraction must be in (0, 1], got "
+                             f"{revealed_fraction}")
+        base = gaussian_rdp(sigma, self.policy.alpha,
+                            sensitivity=math.sqrt(revealed_fraction))
+        return base / subset_entropy(num_nets, subset_size)
+
+    def charge(self, sigma: float, revealed_fraction: float = 1.0,
+               subset_size: int = 1, num_nets: int = 1) -> float:
+        """Accumulate one served query's loss; returns the charged loss."""
+        loss = self.query_loss(sigma, revealed_fraction=revealed_fraction,
+                               subset_size=subset_size, num_nets=num_nets)
+        self.spent += loss
+        self.queries_charged += 1
+        return loss
+
+    def calibrate_sigma(self, revealed_fraction: float = 1.0,
+                        subset_size: int = 1, num_nets: int = 1) -> float:
+        """The σ at which ε depletes exactly when ``q_budget`` does.
+
+        Inverts :meth:`query_loss` for a per-query charge of
+        ``eps / q_budget``: serving at this noise level makes the two
+        budgets run out together.
+        """
+        target = self.policy.eps / self.policy.q_budget
+        entropy = subset_entropy(num_nets, subset_size)
+        return math.sqrt(self.policy.alpha * revealed_fraction
+                         / (2.0 * target * entropy))
+
+    @property
+    def remaining(self) -> float:
+        """Unspent ε(α), floored at zero."""
+        return max(0.0, self.policy.eps - self.spent)
+
+    @property
+    def fraction_spent(self) -> float:
+        """Budget depletion in [0, 1]: the *tighter* of the ε and query
+        budgets (``max`` of the two fractions), capped at 1."""
+        eps_frac = self.spent / self.policy.eps
+        query_frac = self.queries_charged / self.policy.q_budget
+        return min(1.0, max(eps_frac, query_frac))
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether either the ε or the query budget is fully spent."""
+        return (self.spent >= self.policy.eps
+                or self.queries_charged >= self.policy.q_budget)
+
+    def __repr__(self) -> str:
+        return (f"RenyiAccountant(alpha={self.policy.alpha:g}, "
+                f"spent={self.spent:.4g}/{self.policy.eps:g}, "
+                f"queries={self.queries_charged}/{self.policy.q_budget})")

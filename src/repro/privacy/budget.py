@@ -1,0 +1,221 @@
+"""Per-session privacy budgets: graceful degradation, then refusal.
+
+A :class:`PrivacyBudget` attaches to a
+:class:`~repro.serving.session.Session` and is spent once per served
+query by the service's tick loop.  Like the overload controller's
+degradation ladder, depletion is graceful before it is terminal — the
+ladder trades *utility* for remaining privacy, mildest step first:
+
+1. **normal** — serve at the session's negotiated noise and full maps;
+2. **raise noise** — past ``raise_noise_at`` of the budget, the client
+   adds extra Gaussian noise at the split (``noise_boost`` × the base
+   σ in total), which also *lowers* every subsequent per-query charge;
+3. **shrink map** — past ``shrink_map_at``, the service masks each
+   downlink feature map to ``map_fraction`` of its channels (responses
+   flagged ``degraded``), shrinking the revealed sensitivity;
+4. **exhausted** — the budget is spent: the session is closed for new
+   work and every further submit raises the typed
+   :class:`~repro.serving.errors.PrivacyExhaustedError`; nothing is ever
+   silently served past exhaustion.
+
+The extra ladder noise is drawn from the (session_id, epoch,
+rotation_index)-derived RNG of :mod:`repro.privacy.rotation`, so a
+restored incarnation never replays its predecessor's noise draws — the
+checkpointed *base* noise map stays bit-exact, only the ladder's extra
+draws decorrelate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.privacy.accountant import PrivacyPolicy, RenyiAccountant
+
+#: Ladder levels, mildest first.  ``LEVEL_NORMAL`` is full quality.
+LEVEL_NORMAL = 0
+LEVEL_RAISE_NOISE = 1
+LEVEL_SHRINK_MAP = 2
+LEVEL_EXHAUSTED = 3
+
+#: Human-readable names for the budget ladder levels, in depletion order.
+PRIVACY_LADDER = ("normal", "raise-noise", "shrink-map", "exhausted")
+
+
+class PrivacyBudget:
+    """Mutable per-session budget state walking the depletion ladder.
+
+    Wraps a :class:`~repro.privacy.accountant.RenyiAccountant` with the
+    deployment-shaped ladder knobs: ``raise_noise_at`` /
+    ``shrink_map_at`` are depletion fractions (of the tighter budget) at
+    which the ladder engages, ``noise_boost`` the total-σ multiplier of
+    the raise-noise step, ``map_fraction`` the channel fraction the
+    shrink step still reveals, and ``base_sigma`` the fallback split
+    noise level when the session carries no noise provenance.  The
+    ladder knobs are deployment *config* (like the client's model
+    halves); only the accountant's accumulated state is checkpointed.
+    """
+
+    def __init__(self, policy: PrivacyPolicy | None = None,
+                 base_sigma: float = 0.1,
+                 raise_noise_at: float = 0.5,
+                 shrink_map_at: float = 0.8,
+                 noise_boost: float = 1.5,
+                 map_fraction: float = 0.5):
+        if not (math.isfinite(base_sigma) and base_sigma >= 0.0):
+            raise ValueError(f"base_sigma must be finite and >= 0, got "
+                             f"{base_sigma}")
+        if not 0.0 < raise_noise_at <= shrink_map_at <= 1.0:
+            raise ValueError(
+                f"need 0 < raise_noise_at <= shrink_map_at <= 1, got "
+                f"{raise_noise_at} / {shrink_map_at}")
+        if not noise_boost >= 1.0:
+            raise ValueError(f"noise_boost must be >= 1, got {noise_boost}")
+        if not 0.0 < map_fraction <= 1.0:
+            raise ValueError(f"map_fraction must be in (0, 1], got "
+                             f"{map_fraction}")
+        self.accountant = RenyiAccountant(policy)
+        self.base_sigma = float(base_sigma)
+        self.raise_noise_at = float(raise_noise_at)
+        self.shrink_map_at = float(shrink_map_at)
+        self.noise_boost = float(noise_boost)
+        self.map_fraction = float(map_fraction)
+        #: set by the service the first time an exhausted session is
+        #: refused; the session stays registered as a tombstone so every
+        #: later submit raises ``PrivacyExhaustedError``, not
+        #: ``UnknownSessionError``.
+        self.closed = False
+
+    @classmethod
+    def parse(cls, value: "PrivacyBudget | PrivacyPolicy | tuple | None",
+              base_sigma: float | None = None) -> "PrivacyBudget | None":
+        """Coerce a user-facing spec to a :class:`PrivacyBudget`.
+
+        Args:
+            value: ``None`` (unmetered), a ready :class:`PrivacyBudget`,
+                a :class:`~repro.privacy.accountant.PrivacyPolicy`, or an
+                ``(alpha, eps, q_budget)`` tuple.
+            base_sigma: fallback split noise level for budgets built
+                here (ignored for a ready-made budget).
+
+        Returns:
+            The parsed budget, or ``None`` for the unmetered spec.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        policy = PrivacyPolicy.parse(value)
+        if base_sigma is None:
+            return cls(policy)
+        return cls(policy, base_sigma=base_sigma)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def policy(self) -> PrivacyPolicy:
+        """The accounted ``(alpha, eps, q_budget)`` contract."""
+        return self.accountant.policy
+
+    @property
+    def spent(self) -> float:
+        """Cumulative ε(α) charged so far."""
+        return self.accountant.spent
+
+    @property
+    def queries_charged(self) -> int:
+        """Served queries charged so far."""
+        return self.accountant.queries_charged
+
+    @property
+    def fraction_spent(self) -> float:
+        """Depletion of the tighter budget, in [0, 1]."""
+        return self.accountant.fraction_spent
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the session must now be refused."""
+        return self.accountant.exhausted
+
+    @property
+    def level(self) -> int:
+        """The current ladder level (see :data:`PRIVACY_LADDER`)."""
+        if self.exhausted:
+            return LEVEL_EXHAUSTED
+        fraction = self.fraction_spent
+        if fraction >= self.shrink_map_at:
+            return LEVEL_SHRINK_MAP
+        if fraction >= self.raise_noise_at:
+            return LEVEL_RAISE_NOISE
+        return LEVEL_NORMAL
+
+    @property
+    def level_name(self) -> str:
+        """The current ladder level's human-readable name."""
+        return PRIVACY_LADDER[self.level]
+
+    # -- ladder effects --------------------------------------------------
+
+    def effective_sigma(self, base_sigma: float | None = None) -> float:
+        """The total split noise σ served at the current ladder level."""
+        base = self.base_sigma if base_sigma is None else float(base_sigma)
+        if self.level >= LEVEL_RAISE_NOISE:
+            return base * self.noise_boost
+        return base
+
+    def extra_sigma(self, base_sigma: float | None = None) -> float:
+        """The σ of the *additional* independent noise the client draws.
+
+        The base noise map is fixed (and checkpointed bit-exactly);
+        raising total noise from ``σ`` to ``boost·σ`` therefore adds an
+        independent draw of std ``σ·sqrt(boost² − 1)`` on top.  Zero
+        below the raise-noise level.
+        """
+        base = self.base_sigma if base_sigma is None else float(base_sigma)
+        if self.level < LEVEL_RAISE_NOISE:
+            return 0.0
+        return base * math.sqrt(self.noise_boost**2 - 1.0)
+
+    def revealed_fraction(self) -> float:
+        """Fraction of downlink channels served at the current level."""
+        if self.level >= LEVEL_SHRINK_MAP:
+            return self.map_fraction
+        return 1.0
+
+    def mask_outputs(self, outputs: list) -> bool:
+        """Zero the channels past the revealed fraction, in place.
+
+        Applied by the service to a response's (already-copied) feature
+        maps at :data:`LEVEL_SHRINK_MAP` and above; at least one channel
+        always survives.  Returns True when masking was applied (the
+        response must then be flagged ``degraded``).
+        """
+        fraction = self.revealed_fraction()
+        if fraction >= 1.0:
+            return False
+        masked = False
+        for out in outputs:
+            if out.ndim < 2:
+                continue
+            keep = max(1, math.ceil(out.shape[1] * fraction))
+            if keep < out.shape[1]:
+                out[:, keep:] = 0.0
+                masked = True
+        return masked
+
+    # -- spending --------------------------------------------------------
+
+    def charge_query(self, base_sigma: float | None = None,
+                     subset_size: int = 1, num_nets: int = 1) -> float:
+        """Charge one served query at the current ladder shape.
+
+        The charge uses the *effective* noise and revealed fraction, so
+        ladder degradation genuinely slows depletion.  Returns the
+        charged loss.
+        """
+        return self.accountant.charge(
+            self.effective_sigma(base_sigma),
+            revealed_fraction=self.revealed_fraction(),
+            subset_size=subset_size, num_nets=num_nets)
+
+    def __repr__(self) -> str:
+        return (f"PrivacyBudget(level={self.level_name!r}, "
+                f"spent={self.spent:.4g}/{self.policy.eps:g}, "
+                f"queries={self.queries_charged}/{self.policy.q_budget})")

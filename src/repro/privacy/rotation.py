@@ -1,0 +1,192 @@
+"""Switching-ensemble selector rotation (Izmailov et al.).
+
+Ensembler's secrecy rests on the client's P-of-N selector; a server-side
+adversary who ever learns the subset — a side channel, a compromised
+client build, one lucky brute-force hit — can decode the client's
+effective representation for every subsequent query.  *Rotation* caps
+that exposure: the session re-draws its secret subset mid-stream (same
+P-of-N arity, so the tail keeps its input shape), and a leaked subset
+goes stale at the next re-draw.
+
+Three :class:`RotationPolicy` modes:
+
+* ``per_query`` — re-draw every ``queries_per_rotation`` served queries
+  (1 = a fresh subset for every response);
+* ``per_epoch`` — re-draw once per incarnation epoch (each checkpoint
+  restore / failover bumps the epoch and rotates);
+* ``budget`` — re-draw each time the session's
+  :class:`~repro.privacy.budget.PrivacyBudget` crosses another
+  ``budget_step`` fraction of depletion.
+
+Seed isolation
+--------------
+Every draw — the subset itself and the budget ladder's extra noise — is
+seeded from ``(session_id, epoch, rotation_index, stream)`` via
+:func:`derive_rng`, mirroring the retry-jitter fix: seeding by session
+id alone would make every restored incarnation of a session replay its
+predecessor's rotation sequence, handing an adversary who observed one
+incarnation the next one's secrets for free.  The epoch term breaks that
+replay; the rotation index sequences draws within an incarnation; the
+stream tag decorrelates subset draws from noise draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.selector import Selector
+
+#: RNG stream tags: subset re-draws and ladder noise must not share a
+#: stream, or the noise draws would be predictable from an observed
+#: rotation (and vice versa).
+STREAM_ROTATION = 0
+STREAM_NOISE = 1
+
+#: The recognised :class:`RotationPolicy` modes.
+ROTATION_MODES = ("per_query", "per_epoch", "budget")
+
+
+def derive_rng(session_id: int, epoch: int, rotation_index: int,
+               stream: int = STREAM_ROTATION) -> np.random.Generator:
+    """The deterministic RNG for one (incarnation, rotation, stream) cell.
+
+    Seeded from the full ``(session_id, epoch, rotation_index, stream)``
+    tuple so restored incarnations (higher epoch) never replay their
+    predecessor's draws, and distinct streams never correlate.
+    """
+    return np.random.default_rng(
+        [int(session_id), int(epoch), int(rotation_index), int(stream)])
+
+
+@dataclasses.dataclass(frozen=True)
+class RotationPolicy:
+    """When a session re-draws its secret selector subset.
+
+    ``queries_per_rotation`` applies to ``per_query`` mode;
+    ``budget_step`` to ``budget`` mode (re-draw each time another
+    ``budget_step`` fraction of the privacy budget is spent).
+    """
+
+    mode: str = "per_query"
+    queries_per_rotation: int = 1
+    budget_step: float = 0.25
+
+    def __post_init__(self):
+        if self.mode not in ROTATION_MODES:
+            raise ValueError(f"unknown rotation mode {self.mode!r}; choose "
+                             f"from {ROTATION_MODES}")
+        if self.queries_per_rotation < 1:
+            raise ValueError("queries_per_rotation must be >= 1")
+        if not 0.0 < self.budget_step <= 1.0:
+            raise ValueError(f"budget_step must be in (0, 1], got "
+                             f"{self.budget_step}")
+
+    @classmethod
+    def parse(cls, value: "RotationPolicy | str | None"
+              ) -> "RotationPolicy | None":
+        """Coerce a user-facing spec to a :class:`RotationPolicy`.
+
+        Args:
+            value: ``None`` (static selector), a ready policy, or a bare
+                mode name from :data:`ROTATION_MODES`.
+
+        Returns:
+            The parsed policy, or ``None`` for the static spec.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(mode=str(value))
+
+
+class SelectorRotator:
+    """Mutable per-session rotation state driving one session's re-draws.
+
+    Owned by the :class:`~repro.serving.session.Session`; the service's
+    tick loop calls :meth:`maybe_rotate` immediately before delivering
+    each response, so a served query is always consumed under the subset
+    in force at its own serve time.  ``rotation_index`` is the only
+    checkpointed field (alongside the budget, in the checkpoint's
+    privacy block); the policy itself is deployment config.
+    """
+
+    def __init__(self, policy: RotationPolicy, session_id: int,
+                 epoch: int = 0):
+        self.policy = policy
+        self.session_id = int(session_id)
+        self.epoch = int(epoch)
+        self.rotation_index = 0     # checkpointed draw counter
+        self.queries_served = 0     # per_query trigger state
+        self.budget_marks = 0       # budget-mode steps already consumed
+        self.rotations = 0          # lifetime re-draws, this incarnation
+
+    def rng(self, stream: int = STREAM_ROTATION) -> np.random.Generator:
+        """The RNG for the current ``(epoch, rotation_index)`` cell."""
+        return derive_rng(self.session_id, self.epoch, self.rotation_index,
+                          stream)
+
+    def rotate(self, session) -> None:
+        """Re-draw the session's secret subset (same P-of-N arity).
+
+        Bumps ``rotation_index``, draws the new subset from the derived
+        RNG and refreshes the session's ladder-noise RNG so both streams
+        advance together.
+        """
+        selector = session.client._selector
+        if selector is None:
+            raise ValueError("selector rotation requires a selector-bearing "
+                             "client")
+        self.rotation_index += 1
+        self.rotations += 1
+        session.client._selector = Selector.random(
+            selector.num_nets, selector.num_active,
+            rng=self.rng(STREAM_ROTATION))
+        session._refresh_privacy_rng()
+
+    def maybe_rotate(self, session) -> bool:
+        """One serve's rotation hook; returns True if a re-draw happened.
+
+        Called by the service before delivering each response.
+        ``per_query`` rotates every ``queries_per_rotation`` serves (the
+        first window is served under the open-time subset); ``budget``
+        rotates each time the session's budget crosses another
+        ``budget_step`` of depletion; ``per_epoch`` never rotates here —
+        it rotates on epoch bumps via :meth:`advance_epoch`.
+        """
+        rotated = False
+        if self.policy.mode == "per_query":
+            if (self.queries_served > 0
+                    and self.queries_served % self.policy.queries_per_rotation
+                    == 0):
+                self.rotate(session)
+                rotated = True
+        elif self.policy.mode == "budget" and session.privacy is not None:
+            marks = int(math.floor(session.privacy.fraction_spent
+                                   / self.policy.budget_step))
+            if marks > self.budget_marks:
+                self.budget_marks = marks
+                self.rotate(session)
+                rotated = True
+        self.queries_served += 1
+        return rotated
+
+    def advance_epoch(self, epoch: int, session) -> None:
+        """Move to a new incarnation epoch (checkpoint restore / apply).
+
+        The epoch term re-keys every subsequent draw, so the restored
+        incarnation cannot replay its predecessor's sequence even from
+        the same ``rotation_index``; ``per_epoch`` mode additionally
+        rotates right away — one fresh subset per incarnation.
+        """
+        self.epoch = int(epoch)
+        if self.policy.mode == "per_epoch":
+            self.rotate(session)
+        else:
+            session._refresh_privacy_rng()
+
+    def __repr__(self) -> str:
+        return (f"SelectorRotator(mode={self.policy.mode!r}, "
+                f"epoch={self.epoch}, rotation_index={self.rotation_index}, "
+                f"rotations={self.rotations})")

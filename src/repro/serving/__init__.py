@@ -45,6 +45,12 @@ forward, so K waiting requests cost one fused pass instead of K.
   :class:`CheckpointStore`; corrupt blobs raise a typed
   :class:`CheckpointError`, never restore silently-wrong state.
 
+Sessions may additionally carry a per-session privacy budget and a
+selector-rotation policy from :mod:`repro.privacy`: the service charges
+a Rényi-accounted loss per served query, degrades along a budget ladder,
+refuses exhausted sessions with :class:`PrivacyExhaustedError`, and
+re-draws the secret subset per the rotation policy (``docs/privacy.md``).
+
 The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
 """
 
@@ -58,6 +64,7 @@ from repro.serving.errors import (
     BackpressureError,
     CheckpointError,
     DeadlineExceededError,
+    PrivacyExhaustedError,
     ProtocolError,
     RateLimitedError,
     RequestCancelledError,
@@ -146,6 +153,7 @@ __all__ = [
     "LADDER",
     "OverloadController",
     "OverloadPolicy",
+    "PrivacyExhaustedError",
     "ProtocolError",
     "RateLimit",
     "RateLimitedError",

@@ -16,24 +16,33 @@ with a typed :class:`~repro.serving.errors.CheckpointError` — a
 checkpoint restores exactly or not at all; failover never adopts
 silently-wrong session state.
 
-Byte layout (version 1, little-endian)::
+Byte layout (version 2, little-endian)::
 
     offset  size  field
     ------  ----  -----------------------------------------------
          0     4  magic ``b"ENCP"``
-         4     2  version (u16) = 1
+         4     2  version (u16) = 2
          6     2  codec wire code (u16)
          8     8  session id (u64)
         16     4  incarnation epoch (u32)
         20     8  next request id — the high-water mark (u64)
         28     8  tenant weight (f64)
-        36     2  flags (u16): 1=selector, 2=noise, 4=limiter
+        36     2  flags (u16): 1=selector, 2=noise, 4=limiter, 8=privacy
         [flag 1]  selector block: num_nets u16, count u16, count x u16
         [flag 2]  noise block: seed u64, ndim u16, sigma f64, ndim x u32
         [flag 4]  limiter block: rate f64, burst f64, tokens f64
+        [flag 8]  privacy block: alpha f64, eps f64, q_budget u64,
+                  spent f64, queries charged u64, rotation index u64
          ...   4  request-state count (u32)
          ...   9  per request: request id u64, state code u8
         -4     4  CRC32 over all preceding bytes (u32)
+
+Version 1 blobs (no privacy flag defined) still decode — the privacy
+section simply restores absent — but a v1 blob *carrying* flag 8 is
+rejected as unknown, exactly as a v1 build would have rejected it.  The
+privacy block checkpoints accounting *state* (spent ε(α), charged
+queries, rotation index); ladder knobs and the rotation policy are
+deployment config, re-supplied at restore time like the model halves.
 
 Two restore paths cover the two failover shapes:
 
@@ -63,19 +72,28 @@ from repro.serving.protocol import Codec
 #: Leading bytes of every checkpoint blob.
 CHECKPOINT_MAGIC = b"ENCP"
 
-#: Version of the layout documented in the module docstring; decoding
-#: any other version raises :class:`CheckpointError`.
-CHECKPOINT_VERSION = 1
+#: Version of the layout documented in the module docstring.  Version 1
+#: blobs (same layout minus the privacy flag) still decode; any other
+#: version raises :class:`CheckpointError`.
+CHECKPOINT_VERSION = 2
 
 _FLAG_SELECTOR = 1
 _FLAG_NOISE = 2
 _FLAG_LIMITER = 4
-_KNOWN_FLAGS = _FLAG_SELECTOR | _FLAG_NOISE | _FLAG_LIMITER
+_FLAG_PRIVACY = 8
+#: Flags each decodable version understands: a v1 blob carrying the
+#: privacy flag is rejected exactly as a v1 build would reject it.
+_KNOWN_FLAGS_BY_VERSION = {
+    1: _FLAG_SELECTOR | _FLAG_NOISE | _FLAG_LIMITER,
+    2: _FLAG_SELECTOR | _FLAG_NOISE | _FLAG_LIMITER | _FLAG_PRIVACY,
+}
+_KNOWN_FLAGS = _KNOWN_FLAGS_BY_VERSION[CHECKPOINT_VERSION]
 
 _HEADER = struct.Struct("<4sHHQIQdH")
 _SEL_HEAD = struct.Struct("<HH")
 _NOISE_HEAD = struct.Struct("<QHd")
 _LIMITER = struct.Struct("<ddd")
+_PRIVACY = struct.Struct("<ddQdQQ")
 _STATE_COUNT = struct.Struct("<I")
 _STATE_ENTRY = struct.Struct("<QB")
 _CRC = struct.Struct("<I")
@@ -123,6 +141,9 @@ class SessionState:
     ``(seed, shape, sigma)`` or ``None`` (unknown provenance — e.g. an
     explicit noise module — cannot checkpoint and restores noiseless);
     ``limiter`` is ``(rate_per_s, burst, tokens)`` or ``None``;
+    ``privacy`` is ``(alpha, eps, q_budget, spent, queries_charged,
+    rotation_index)`` or ``None`` (unmetered session — present only when
+    the session carries a :class:`~repro.privacy.budget.PrivacyBudget`);
     ``states`` maps request ids to their lifecycle states at snapshot
     time.
     """
@@ -135,6 +156,7 @@ class SessionState:
     selector: tuple[int, tuple[int, ...]] | None = None
     noise: tuple[int, tuple[int, ...], float] | None = None
     limiter: tuple[float, float, float] | None = None
+    privacy: tuple[float, float, int, float, int, int] | None = None
     states: dict[int, RequestState] = dataclasses.field(default_factory=dict)
 
     # -- capture --------------------------------------------------------
@@ -162,13 +184,22 @@ class SessionState:
             lim = session.limiter
             limiter = (float(lim.limit.rate_per_s), float(lim.limit.burst),
                        float(lim.available(session._service.now)))
+        privacy = None
+        if getattr(session, "privacy", None) is not None:
+            policy = session.privacy.policy
+            rotation_index = (int(session.rotation.rotation_index)
+                              if getattr(session, "rotation", None) is not None
+                              else 0)
+            privacy = (float(policy.alpha), float(policy.eps),
+                       int(policy.q_budget), float(session.privacy.spent),
+                       int(session.privacy.queries_charged), rotation_index)
         return cls(session_id=int(session.session_id),
                    epoch=int(session.epoch),
                    codec=session.codec,
                    weight=float(session.weight),
                    next_request_id=int(session._next_request_id),
                    selector=selector, noise=noise, limiter=limiter,
-                   states=dict(session._states))
+                   privacy=privacy, states=dict(session._states))
 
     # -- wire -----------------------------------------------------------
 
@@ -176,7 +207,8 @@ class SessionState:
         """Serialise to the versioned, CRC32-trailed layout."""
         flags = ((_FLAG_SELECTOR if self.selector is not None else 0)
                  | (_FLAG_NOISE if self.noise is not None else 0)
-                 | (_FLAG_LIMITER if self.limiter is not None else 0))
+                 | (_FLAG_LIMITER if self.limiter is not None else 0)
+                 | (_FLAG_PRIVACY if self.privacy is not None else 0))
         parts = [_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
                               int(self.codec), self.session_id, self.epoch,
                               self.next_request_id, self.weight, flags)]
@@ -190,6 +222,8 @@ class SessionState:
             parts.append(struct.pack(f"<{len(shape)}I", *shape))
         if self.limiter is not None:
             parts.append(_LIMITER.pack(*self.limiter))
+        if self.privacy is not None:
+            parts.append(_PRIVACY.pack(*self.privacy))
         parts.append(_STATE_COUNT.pack(len(self.states)))
         for request_id in sorted(self.states):
             parts.append(_STATE_ENTRY.pack(
@@ -226,13 +260,15 @@ class SessionState:
             raise CheckpointError(
                 f"bad checkpoint magic {magic!r} (expected "
                 f"{CHECKPOINT_MAGIC!r})")
-        if version != CHECKPOINT_VERSION:
+        known_flags = _KNOWN_FLAGS_BY_VERSION.get(version)
+        if known_flags is None:
             raise CheckpointError(
                 f"unsupported checkpoint version {version} (this build "
-                f"reads version {CHECKPOINT_VERSION})")
-        if flags & ~_KNOWN_FLAGS:
+                f"reads versions {sorted(_KNOWN_FLAGS_BY_VERSION)})")
+        if flags & ~known_flags:
             raise CheckpointError(
-                f"unknown checkpoint flags 0x{flags & ~_KNOWN_FLAGS:x}")
+                f"unknown checkpoint flags 0x{flags & ~known_flags:x} for "
+                f"version {version}")
         try:
             codec = Codec.parse(codec_code)
         except ValueError as exc:
@@ -269,6 +305,18 @@ class SessionState:
                     f"checkpoint limiter block is not a legal token bucket: "
                     f"rate={rate!r} burst={burst!r} tokens={tokens!r}")
             limiter = (rate, burst, tokens)
+        privacy = None
+        if flags & _FLAG_PRIVACY:
+            alpha, eps, q_budget, spent, queries, rotation_index = (
+                reader.unpack(_PRIVACY))
+            if not (math.isfinite(alpha) and alpha > 1.0
+                    and math.isfinite(eps) and eps > 0.0 and q_budget >= 1
+                    and math.isfinite(spent) and spent >= 0.0):
+                raise CheckpointError(
+                    f"checkpoint privacy block is not a legal budget: "
+                    f"alpha={alpha!r} eps={eps!r} q_budget={q_budget!r} "
+                    f"spent={spent!r}")
+            privacy = (alpha, eps, q_budget, spent, queries, rotation_index)
         (count,) = reader.unpack(_STATE_COUNT)
         states: dict[int, RequestState] = {}
         for _ in range(count):
@@ -293,7 +341,7 @@ class SessionState:
         return cls(session_id=session_id, epoch=epoch, codec=codec,
                    weight=weight, next_request_id=next_request_id,
                    selector=selector, noise=noise, limiter=limiter,
-                   states=states)
+                   privacy=privacy, states=states)
 
     # -- restore --------------------------------------------------------
 
@@ -324,7 +372,7 @@ class SessionState:
                             noise_seed=noise_seed, noise_shape=noise_shape,
                             noise_sigma=noise_sigma)
 
-    def restore(self, service, head, tail):
+    def restore(self, service, head, tail, privacy=None, rotation=None):
         """Adopt this checkpoint as a fresh session on ``service``.
 
         The failover path for a replica that died with its sessions: the
@@ -338,6 +386,15 @@ class SessionState:
         client-side :class:`~repro.serving.faults.RetryPolicy` timeout
         recovers them, and service-side dedup guarantees none is served
         twice.
+
+        A checkpointed privacy block restores bit-exactly: the budget's
+        ``(alpha, eps, q_budget)`` policy, spent ε(α), charged-query
+        count and rotation index all come from the blob.  ``privacy``
+        optionally supplies deployment ladder knobs (a
+        :class:`~repro.privacy.budget.PrivacyBudget` or spec whose
+        *accounting* is overwritten from the checkpoint); ``rotation``
+        re-supplies the deployment's rotation policy — both are config,
+        not state, exactly like the model halves.
         """
         client = self.rebuild_client(head, tail)
         if (self.selector is not None
@@ -348,16 +405,32 @@ class SessionState:
         rate_limit = None
         if self.limiter is not None:
             rate_limit = (self.limiter[0], self.limiter[1])
+        budget = None
+        rotation_index = 0
+        if self.privacy is not None:
+            from repro.privacy.accountant import PrivacyPolicy, RenyiAccountant
+            from repro.privacy.budget import PrivacyBudget
+            alpha, eps, q_budget, spent, queries, rotation_index = self.privacy
+            budget = PrivacyBudget.parse(privacy)
+            if budget is None:
+                budget = PrivacyBudget()
+            budget.accountant = RenyiAccountant(
+                PrivacyPolicy(alpha, eps, q_budget))
+            budget.accountant.spent = spent
+            budget.accountant.queries_charged = queries
         session = service.adopt_session(
             client, codec=self.codec, weight=self.weight,
             rate_limit=rate_limit, session_id=self.session_id,
-            epoch=self.epoch + 1)
+            epoch=self.epoch + 1, privacy=budget, rotation=rotation)
         if self.noise is not None:
             session.noise_seed, session.noise_shape, session.noise_sigma = (
                 self.noise)
         if session.limiter is not None and self.limiter is not None:
             session.limiter.tokens = min(session.limiter.tokens,
                                          self.limiter[2])
+        if session.rotation is not None:
+            session.rotation.rotation_index = int(rotation_index)
+            session._refresh_privacy_rng()
         session._next_request_id = self.next_request_id
         session._states.update(self.states)
         for request_id, state in self.states.items():
@@ -376,7 +449,10 @@ class SessionState:
         lifecycle states of requests the live side never learned about.
         The incarnation epoch bumps past both sides and the retry-jitter
         RNG reseeds, so the restored session cannot replay its
-        predecessor's backoff sequence.
+        predecessor's backoff sequence.  Privacy accounting only
+        *ratchets*: spent ε(α), charged queries and the rotation index
+        take the max of both sides, so failover can never mint budget
+        back, and the rotation/noise RNGs re-key from the new epoch.
         """
         import numpy as np
 
@@ -395,6 +471,18 @@ class SessionState:
         session.epoch = max(session.epoch, self.epoch) + 1
         session._retry_rng = np.random.default_rng(
             [session.session_id, session.epoch])
+        if self.privacy is not None and session.privacy is not None:
+            accountant = session.privacy.accountant
+            accountant.spent = max(accountant.spent, self.privacy[3])
+            accountant.queries_charged = max(accountant.queries_charged,
+                                             self.privacy[4])
+        if session.rotation is not None:
+            if self.privacy is not None:
+                session.rotation.rotation_index = max(
+                    session.rotation.rotation_index, int(self.privacy[5]))
+            session.rotation.advance_epoch(session.epoch, session)
+        else:
+            session._refresh_privacy_rng()
 
 
 class CheckpointStore:

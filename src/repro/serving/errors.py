@@ -118,6 +118,22 @@ class RequestCancelledError(ServingError):
     """
 
 
+class PrivacyExhaustedError(ServingError):
+    """The session's privacy budget is spent; no further queries serve.
+
+    Raised by :meth:`InferenceService.submit` once the session's
+    :class:`~repro.privacy.budget.PrivacyBudget` reports exhaustion —
+    either the cumulative Rényi ε(α) or the ``q_budget`` query cap is
+    depleted.  The session is closed for new work on first refusal
+    (queued requests are cancelled, counted in
+    ``ServiceStats.privacy_refusals`` /
+    ``ServiceStats.privacy_exhausted_sessions``) but stays registered as
+    a tombstone, so later submits keep raising this error rather than
+    :class:`UnknownSessionError`.  Deliberately **not** retryable: the
+    budget never refills, so resubmitting can never succeed.
+    """
+
+
 class CheckpointError(ServingError, ValueError):
     """A session checkpoint blob failed to decode or to apply.
 
@@ -142,7 +158,7 @@ class RequestState(enum.Enum):
     COMPLETED = "completed"  # served by a tick; response delivered
     EXPIRED = "expired"      # deadline passed; shed pre-schedule
     CANCELLED = "cancelled"  # session closed with the request queued
-    REJECTED = "rejected"    # shed at admission: queue full / overload
+    REJECTED = "rejected"    # shed at admission/serve: capacity or privacy
     THROTTLED = "throttled"  # shed at admission: token bucket empty
     FAILED = "failed"        # corrupt frame or tick crash beyond retries
 

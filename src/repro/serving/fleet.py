@@ -460,20 +460,25 @@ class ServiceFleet:
                      codec: Codec | int | str | None = None,
                      weight: float = 1.0,
                      rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                     privacy=None,
+                     rotation=None,
                      ) -> Session:
         """Open a tenant session against the fleet (see
-        :meth:`InferenceService.open_session` for the knobs).
+        :meth:`InferenceService.open_session` for the knobs, including
+        the ``privacy`` budget and ``rotation`` policy specs).
 
         The session binds to the fleet — its service handle *is* the
         fleet — and is homed on its ring owner; session ids are
-        allocated fleet-wide, so a session keeps its id when it migrates
-        between replicas.
+        allocated fleet-wide, so a session keeps its id (and its privacy
+        budget: one shared :class:`Session` object, charged by whichever
+        replica serves it) when it migrates between replicas.
         """
         client = build_client(head, tail, selector=selector, noise=noise,
                               noise_seed=noise_seed, noise_shape=noise_shape,
                               noise_sigma=noise_sigma)
         session = self.adopt_session(client, codec=codec, weight=weight,
-                                     rate_limit=rate_limit)
+                                     rate_limit=rate_limit,
+                                     privacy=privacy, rotation=rotation)
         if noise is None and noise_seed is not None:
             session.noise_seed = int(noise_seed)
             session.noise_shape = tuple(int(d) for d in noise_shape)
@@ -483,6 +488,8 @@ class ServiceFleet:
     def adopt_session(self, client, codec: Codec | int | str | None = None,
                       weight: float = 1.0,
                       rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                      privacy=None,
+                      rotation=None,
                       ) -> Session:
         """Adopt an already-built client bundle as a fleet tenant.
 
@@ -499,7 +506,8 @@ class ServiceFleet:
                                 if rate_limit is _DEFAULT_LIMIT else rate_limit)
         limiter = RateLimiter(limit, now=self.now) if limit is not None else None
         session = Session(self._next_session_id, client, self,
-                          codec=codec, weight=weight, limiter=limiter)
+                          codec=codec, weight=weight, limiter=limiter,
+                          privacy=privacy, rotation=rotation)
         self._handles[owner].service.register_session(session)
         self._sessions[session.session_id] = session
         self._homes[session.session_id] = owner

@@ -79,6 +79,7 @@ from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client, Server
 from repro.serving.errors import (
     BackpressureError,
+    PrivacyExhaustedError,
     ProtocolError,
     RateLimitedError,
     RequestState,
@@ -276,6 +277,10 @@ class ServiceStats:
     overload_level: int = 0      # current ladder level (see serving.overload)
     overload_escalations: int = 0
     overload_recoveries: int = 0
+    privacy_charged_queries: int = 0  # served queries charged to a budget
+    privacy_refusals: int = 0    # submits/serves refused past exhaustion
+    privacy_exhausted_sessions: int = 0  # sessions closed by a spent budget
+    selector_rotations: int = 0  # switching-ensemble subset re-draws
 
     @property
     def mean_coalesced(self) -> float:
@@ -395,6 +400,8 @@ class InferenceService:
                      codec: Codec | int | str | None = None,
                      weight: float = 1.0,
                      rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
+                     privacy=None,
+                     rotation=None,
                      ) -> Session:
         """Register a new tenant from its client-side parts.
 
@@ -406,13 +413,18 @@ class InferenceService:
         fair-share weight (consumed by weight-aware schedulers; 0 =
         best-effort) and ``rate_limit`` its token bucket — omitted, the
         service-wide default applies; an explicit ``None`` means
-        unlimited.
+        unlimited.  ``privacy`` attaches a per-session
+        :class:`~repro.privacy.budget.PrivacyBudget` (or an
+        ``(alpha, eps, q_budget)`` spec) charged once per served query;
+        ``rotation`` a :class:`~repro.privacy.rotation.RotationPolicy`
+        (or bare mode name) re-drawing the secret selector mid-stream.
         """
         client = build_client(head, tail, selector=selector, noise=noise,
                               noise_seed=noise_seed, noise_shape=noise_shape,
                               noise_sigma=noise_sigma)
         session = self.adopt_session(client, channel=channel, codec=codec,
-                                     weight=weight, rate_limit=rate_limit)
+                                     weight=weight, rate_limit=rate_limit,
+                                     privacy=privacy, rotation=rotation)
         if noise is None and noise_seed is not None:
             # Checkpointable noise provenance: a failover replica can
             # redraw the identical map from (seed, shape, sigma).
@@ -427,6 +439,8 @@ class InferenceService:
                       rate_limit: "RateLimit | tuple | float | None" = _DEFAULT_LIMIT,
                       session_id: int | None = None,
                       epoch: int = 0,
+                      privacy=None,
+                      rotation=None,
                       ) -> Session:
         """Register an already-built :class:`Client` as a tenant.
 
@@ -443,6 +457,10 @@ class InferenceService:
             epoch: the session's incarnation epoch — 0 for a first open,
                 bumped by checkpoint restore so a failed-over session
                 never replays its predecessor's retry-jitter sequence.
+            privacy: per-session privacy budget spec (``None`` =
+                unmetered; see :meth:`open_session`).
+            rotation: selector-rotation policy spec (``None`` = static
+                selector; see :meth:`open_session`).
 
         Returns:
             The opened :class:`Session`; its limiter (if any) starts with
@@ -456,7 +474,7 @@ class InferenceService:
             session_id = self._next_session_id
         session = Session(session_id, client, self, channel=channel,
                           codec=codec, weight=weight, limiter=limiter,
-                          epoch=epoch)
+                          epoch=epoch, privacy=privacy, rotation=rotation)
         return self.register_session(session)
 
     def register_session(self, session: Session) -> Session:
@@ -540,6 +558,19 @@ class InferenceService:
             self.stats.deduped_requests += 1
             session.channel.send_up(request)
             return request.request_id
+        if session.privacy is not None and session.privacy.exhausted:
+            # The budget never refills: refuse (never silently serve),
+            # close the session for new work exactly once, and keep it
+            # registered as a tombstone so the error stays typed.
+            self._close_exhausted(session)
+            self.stats.privacy_refusals += 1
+            session._resolve(request.request_id, RequestState.REJECTED)
+            budget = session.privacy
+            raise PrivacyExhaustedError(
+                f"session {session.session_id} spent its privacy budget "
+                f"(ε(α): {budget.spent:.4g}/{budget.policy.eps:g}, queries: "
+                f"{budget.queries_charged}/{budget.policy.q_budget}); the "
+                f"session is closed for new work")
         if (self.overload is not None and self.overload.shed_best_effort
                 and session.weight == 0):
             self.stats.shed_best_effort += 1
@@ -611,6 +642,15 @@ class InferenceService:
         re-queues its group up to ``tick_retries`` times before marking
         the riders terminally ``FAILED``; the tick itself never raises
         and returns ``[]`` (observable via ``stats.tick_failures``).
+
+        Privacy-budgeted sessions are charged here, post-paid and exactly
+        once per delivered response (crashed passes exit through
+        ``_fail_tick`` before any delivery, so retried queries are never
+        double-charged); the budget ladder masks downlink maps at its
+        shrink-map level, selector rotation re-draws fire immediately
+        before each delivery, and a rider whose budget was spent earlier
+        in the same group is refused (``privacy_refusals``), never
+        silently served.
         """
         if self.config.shed_expired:
             for request in self.scheduler.drop_expired(self.now):
@@ -661,6 +701,7 @@ class InferenceService:
 
         responses = []
         offset = 0
+        served_samples = 0
         for request in group:
             n = request.batch_size
             outs = [np.ascontiguousarray(out[offset:offset + n])
@@ -668,23 +709,46 @@ class InferenceService:
             offset += n
             self._queued_ids.discard((request.session_id, request.request_id))
             session = self._sessions.get(request.session_id)
+            if (session is not None and session.privacy is not None
+                    and session.privacy.exhausted):
+                # An earlier response in this same group spent the last
+                # of the budget: refuse this rider rather than silently
+                # serving past exhaustion.
+                self._close_exhausted(session)
+                self.stats.privacy_refusals += 1
+                session._resolve(request.request_id, RequestState.REJECTED)
+                continue
             negotiated = session.codec if session is not None else Codec.FP32
             codec = (self.overload.codec_for(negotiated)
                      if self.overload is not None else negotiated)
-            degraded = degraded_pass or codec is not negotiated
+            masked = (session.privacy.mask_outputs(outs)
+                      if session is not None and session.privacy is not None
+                      else False)
+            degraded = degraded_pass or codec is not negotiated or masked
             response = FeatureResponse.encode(request.session_id,
                                               request.request_id, outs,
                                               codec=codec, degraded=degraded)
             if degraded:
                 self.stats.degraded_responses += 1
             if session is not None:  # session may have closed mid-flight
+                if session.rotation is not None:
+                    # Rotate *before* delivery: this query is consumed
+                    # under the subset in force at its own serve time.
+                    if session.rotation.maybe_rotate(session):
+                        self.stats.selector_rotations += 1
                 session.channel.send_down(response)
                 session._deliver(response)
+                if session.charge_privacy() is not None:
+                    # Post-paid, exactly once per delivered response.
+                    self.stats.privacy_charged_queries += 1
+                    if session.privacy.exhausted:
+                        self._close_exhausted(session)
+            served_samples += n
             responses.append(response)
 
         self.stats.ticks += 1
-        self.stats.served_requests += len(group)
-        self.stats.served_samples += offset
+        self.stats.served_requests += len(responses)
+        self.stats.served_samples += served_samples
         self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(group))
         return responses
 
@@ -707,6 +771,26 @@ class InferenceService:
         session = self._sessions.get(request.session_id)
         if session is not None:
             session._resolve(request.request_id, state)
+
+    def _close_exhausted(self, session: Session) -> None:
+        """Close a budget-exhausted session for new work, exactly once.
+
+        Counted in ``privacy_exhausted_sessions``; the session's queued
+        requests are cancelled (terminally ``CANCELLED``, counted in
+        ``cancelled_requests``) but the session stays *registered* as a
+        tombstone, so later submits raise the typed
+        :class:`~repro.serving.errors.PrivacyExhaustedError` instead of
+        :class:`~repro.serving.errors.UnknownSessionError`.
+        """
+        if session.privacy is None or session.privacy.closed:
+            return
+        session.privacy.closed = True
+        self.stats.privacy_exhausted_sessions += 1
+        cancelled = self.scheduler.cancel_session(session.session_id)
+        self.stats.cancelled_requests += len(cancelled)
+        for request in cancelled:
+            self._queued_ids.discard((request.session_id, request.request_id))
+            session._resolve(request.request_id, RequestState.CANCELLED)
 
     def run_until_idle(self, max_ticks: int = 100_000) -> int:
         """Tick until the queue drains; returns the number of ticks run."""

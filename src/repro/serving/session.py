@@ -26,6 +26,13 @@ from repro.serving.errors import (
 )
 from repro.serving.faults import RetryPolicy
 from repro.serving.protocol import Codec, FeatureResponse, UploadRequest
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.rotation import (
+    STREAM_NOISE,
+    RotationPolicy,
+    SelectorRotator,
+    derive_rng,
+)
 
 
 class Session:
@@ -54,7 +61,18 @@ class Session:
     by session id alone would make every incarnation of a session (and
     every client retrying after the same replica crash) jitter in
     lock-step, re-synchronising exactly the retry storm the jitter
-    exists to spread out.
+    exists to spread out.  The privacy subsystem's rotation and ladder
+    noise draws are decorrelated the same way, from
+    ``(session_id, epoch, rotation_index)``.
+
+    ``privacy`` attaches a :class:`~repro.privacy.budget.PrivacyBudget`
+    (or an ``(alpha, eps, q_budget)`` spec): the service charges it once
+    per served query and refuses the session with
+    :class:`~repro.serving.errors.PrivacyExhaustedError` once it
+    depletes.  ``rotation`` attaches a
+    :class:`~repro.privacy.rotation.RotationPolicy` (or a bare mode
+    name) re-drawing the secret selector subset mid-stream; it requires
+    a selector-bearing client.
     """
 
     def __init__(self, session_id: int, client: Client, service,
@@ -62,7 +80,9 @@ class Session:
                  codec: Codec = Codec.FP32,
                  weight: float = 1.0,
                  limiter=None,
-                 epoch: int = 0):
+                 epoch: int = 0,
+                 privacy=None,
+                 rotation=None):
         self.session_id = session_id
         self.client = client
         self.channel = channel if channel is not None else Channel()
@@ -89,6 +109,15 @@ class Session:
         # Deterministic per-session jitter source for retry backoff,
         # decorrelated across incarnations by the epoch.
         self._retry_rng = np.random.default_rng([session_id, self.epoch])
+        self.privacy = PrivacyBudget.parse(privacy)
+        rotation_policy = RotationPolicy.parse(rotation)
+        if rotation_policy is not None and client._selector is None:
+            raise ValueError(
+                "selector rotation requires a selector-bearing client")
+        self.rotation = (SelectorRotator(rotation_policy, session_id,
+                                         self.epoch)
+                         if rotation_policy is not None else None)
+        self._refresh_privacy_rng()
 
     # -- introspection --------------------------------------------------
 
@@ -120,11 +149,56 @@ class Session:
         """A snapshot of every tracked request's lifecycle state."""
         return dict(self._states)
 
+    # -- privacy side ---------------------------------------------------
+
+    def _refresh_privacy_rng(self) -> None:
+        """Re-key the ladder-noise RNG from (session_id, epoch, rotation).
+
+        Called at construction, after each selector rotation and on epoch
+        bumps, so a restored incarnation never replays its predecessor's
+        extra-noise draws.
+        """
+        rotation_index = (self.rotation.rotation_index
+                          if self.rotation is not None else 0)
+        self._privacy_rng = derive_rng(self.session_id, self.epoch,
+                                       rotation_index, STREAM_NOISE)
+
+    def charge_privacy(self) -> float | None:
+        """Charge one served query against the budget (service-side hook).
+
+        Called by the service's tick loop exactly once per delivered
+        response.  Returns the charged ε(α) loss, or ``None`` for an
+        unmetered session.
+        """
+        if self.privacy is None:
+            return None
+        selector = self.client._selector
+        if selector is not None:
+            subset_size, num_nets = selector.num_active, selector.num_nets
+        else:
+            subset_size = num_nets = 1
+        return self.privacy.charge_query(self.noise_sigma,
+                                         subset_size=subset_size,
+                                         num_nets=num_nets)
+
     # -- request side ---------------------------------------------------
 
     def encode(self, images: np.ndarray) -> np.ndarray:
-        """The features this client would upload: ``M_c,h(x) + noise``."""
-        return self.client.encode(images)
+        """The features this client would upload: ``M_c,h(x) + noise``.
+
+        Past the budget ladder's raise-noise level, an *additional*
+        independent Gaussian draw (std
+        :meth:`~repro.privacy.budget.PrivacyBudget.extra_sigma`) is added
+        on top of the client's fixed base noise map, from the
+        (session_id, epoch, rotation_index)-derived RNG.
+        """
+        features = self.client.encode(images)
+        if self.privacy is not None:
+            extra = self.privacy.extra_sigma(self.noise_sigma)
+            if extra > 0.0:
+                draw = self._privacy_rng.normal(0.0, extra, features.shape)
+                features = features + draw.astype(features.dtype, copy=False)
+        return features
 
     def submit(self, images: np.ndarray, record: bool = False,
                deadline: float | None = None,
@@ -135,7 +209,10 @@ class Session:
         :class:`~repro.serving.errors.ServingError` subclasses:
         :class:`~repro.serving.errors.BackpressureError` (queue full),
         :class:`~repro.serving.errors.RateLimitedError` (token bucket
-        empty) — both without transmitting anything — or
+        empty),
+        :class:`~repro.serving.errors.PrivacyExhaustedError` (the
+        session's privacy budget is spent; never retryable) — all three
+        without transmitting anything — or
         :class:`~repro.serving.errors.ProtocolError` (the frame was
         mangled on a fault-injected wire).  ``deadline`` is an absolute
         service-clock SLO consumed by deadline-aware schedulers; with a

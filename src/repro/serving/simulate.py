@@ -162,6 +162,9 @@ class SimulationReport:
     tick_failures: int = 0  # crashed stacked passes during this replay
     retries: int = 0        # resubmission attempts beyond each first try
     degraded: int = 0       # responses served narrowed / ensemble-shrunk
+    privacy_refusals: int = 0  # submits/serves refused past budget exhaustion
+    exhausted_sessions: int = 0  # sessions that spent their privacy budget
+    rotations: int = 0      # switching-ensemble selector re-draws
 
     @property
     def served(self) -> int:
@@ -282,6 +285,9 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     violations = ticks = retry_attempts = 0
     failures_start = service.stats.tick_failures
     degraded_start = service.stats.degraded_responses
+    refusals_start = service.stats.privacy_refusals
+    exhausted_start = service.stats.privacy_exhausted_sessions
+    rotations_start = service.stats.selector_rotations
     base = service.now  # rebase the trace's epoch; advance_clock never rewinds
     server_free_at = base
     makespan = base
@@ -372,6 +378,7 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
         failures_before = service.stats.tick_failures
         failed_samples_before = service.stats.tick_failure_samples
         expired_before = service.stats.expired_requests
+        refusals_before = service.stats.privacy_refusals
         responses = service.tick()
         if not responses:
             if service.stats.tick_failures > failures_before:
@@ -383,6 +390,8 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                 continue
             if service.stats.expired_requests > expired_before:
                 continue  # progress: expired requests were shed pre-schedule
+            if service.stats.privacy_refusals > refusals_before:
+                continue  # progress: budget-exhausted riders were refused
             break  # defensive: scheduler declined to form a group
         ticks += 1
         group_samples = sum(r.outputs[0].shape[0] for r in responses)
@@ -432,7 +441,14 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                                            - failures_start),
                             retries=retry_attempts,
                             degraded=(service.stats.degraded_responses
-                                      - degraded_start))
+                                      - degraded_start),
+                            privacy_refusals=(service.stats.privacy_refusals
+                                              - refusals_start),
+                            exhausted_sessions=(
+                                service.stats.privacy_exhausted_sessions
+                                - exhausted_start),
+                            rotations=(service.stats.selector_rotations
+                                       - rotations_start))
 
 
 # -- fleet mode ----------------------------------------------------------
@@ -514,6 +530,9 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
     violations = ticks = retry_attempts = duplicates = 0
     failures_start = fleet.stats.tick_failures
     degraded_start = fleet.stats.degraded_responses
+    refusals_start = fleet.stats.privacy_refusals
+    exhausted_start = fleet.stats.privacy_exhausted_sessions
+    rotations_start = fleet.stats.selector_rotations
     migrated_start = fleet.fleet_stats.migrated_sessions
     failovers_start = fleet.fleet_stats.failovers
     lost_start = fleet.fleet_stats.lost_submits
@@ -651,6 +670,7 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
         failures_before = service.stats.tick_failures
         failed_samples_before = service.stats.tick_failure_samples
         expired_before = service.stats.expired_requests
+        refusals_before = service.stats.privacy_refusals
         responses = service.tick()
         factor = handle.cost_factor(clock)
         if not responses:
@@ -661,6 +681,8 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                 continue
             if service.stats.expired_requests > expired_before:
                 continue
+            if service.stats.privacy_refusals > refusals_before:
+                continue  # progress: budget-exhausted riders were refused
             free_at[rid] = math.inf  # defensive: scheduler declined to group
             continue
         ticks += 1
@@ -720,6 +742,10 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
         tick_failures=stats.tick_failures - failures_start,
         retries=retry_attempts,
         degraded=stats.degraded_responses - degraded_start,
+        privacy_refusals=stats.privacy_refusals - refusals_start,
+        exhausted_sessions=(stats.privacy_exhausted_sessions
+                            - exhausted_start),
+        rotations=stats.selector_rotations - rotations_start,
         duplicate_serves=duplicates,
         migrated_sessions=(fleet.fleet_stats.migrated_sessions
                            - migrated_start),

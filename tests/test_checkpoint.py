@@ -8,11 +8,13 @@ from repro.ci import Server
 from repro.ci.pipeline import Client
 from repro.core.selector import Selector
 from repro.models.resnet import ResNet, ResNetConfig, ResNetHead, ResNetTail
+from repro.privacy import PrivacyBudget
 from repro.serving import (
     CheckpointError,
     CheckpointStore,
     Codec,
     InferenceService,
+    PrivacyExhaustedError,
     RequestState,
     SessionState,
 )
@@ -50,6 +52,7 @@ def full_state():
         selector=(5, (0, 2, 4)),
         noise=(1234, (8, 16, 16), 0.07),
         limiter=(20.0, 8.0, 3.25),
+        privacy=(2.0, 4.0, 512, 1.25, 17, 3),
         states={3: RequestState.COMPLETED, 9: RequestState.QUEUED,
                 10: RequestState.EXPIRED})
 
@@ -255,6 +258,109 @@ class TestApplyMerge:
         state.apply(session)
         assert session._states[4] is RequestState.COMPLETED  # live truth wins
         assert session._states[5] is RequestState.EXPIRED    # snapshot fills
+
+
+class TestPrivacyCheckpoint:
+    FEATURES = rng.random((1, 4, 4, 4)).astype(np.float32)
+
+    def make_metered(self, q_budget=4, rotation="per_query"):
+        service = InferenceService(Server([nn.Identity() for _ in range(3)]),
+                                   max_batch=1)
+        client = Client(nn.Identity(), nn.Identity(),
+                        selector=Selector.random(3, 2, rng=new_rng(7)))
+        session = service.adopt_session(client,
+                                        privacy=(2.0, 1000.0, q_budget),
+                                        rotation=rotation)
+        return service, session
+
+    def serve_one(self, service, session):
+        rid = session.submit_features(self.FEATURES)
+        service.run_until_idle()
+        session.take_response(rid)
+
+    def test_capture_includes_accounting_and_rotation(self):
+        service, session = self.make_metered()
+        for _ in range(2):
+            self.serve_one(service, session)
+        state = SessionState.capture(session)
+        alpha, eps, q_budget, spent, queries, rotation_index = state.privacy
+        assert (alpha, eps, q_budget) == (2.0, 1000.0, 4)
+        assert spent == session.privacy.spent
+        assert queries == 2
+        assert rotation_index == session.rotation.rotation_index == 1
+
+    def test_unmetered_sessions_checkpoint_without_privacy(self):
+        service = InferenceService(Server([nn.Identity()]))
+        session = service.adopt_session(Client(nn.Identity(), nn.Identity()))
+        assert SessionState.capture(session).privacy is None
+
+    def test_restore_is_bit_exact_and_bumps_epoch(self):
+        service, session = self.make_metered()
+        for _ in range(3):
+            self.serve_one(service, session)
+        blob = SessionState.capture(session).to_bytes()
+        replica = InferenceService(Server([nn.Identity() for _ in range(3)]),
+                                   max_batch=1)
+        restored = SessionState.from_bytes(blob).restore(
+            replica, nn.Identity(), nn.Identity(), rotation="per_query")
+        assert restored.privacy.spent == session.privacy.spent
+        assert restored.privacy.queries_charged == 3
+        assert restored.privacy.policy == session.privacy.policy
+        assert restored.rotation.rotation_index \
+            == session.rotation.rotation_index
+        assert restored.epoch == session.epoch + 1
+
+    def test_restore_accepts_deployment_ladder_knobs(self):
+        service, session = self.make_metered()
+        self.serve_one(service, session)
+        state = SessionState.capture(session)
+        replica = InferenceService(Server([nn.Identity() for _ in range(3)]),
+                                   max_batch=1)
+        knobs = PrivacyBudget(base_sigma=0.3, noise_boost=2.0)
+        restored = state.restore(replica, nn.Identity(), nn.Identity(),
+                                 privacy=knobs)
+        # config comes from the supplied budget, accounting from the blob
+        assert restored.privacy.base_sigma == 0.3
+        assert restored.privacy.noise_boost == 2.0
+        assert restored.privacy.policy == session.privacy.policy
+        assert restored.privacy.queries_charged == 1
+
+    def test_restored_exhausted_session_still_refuses(self):
+        service, session = self.make_metered(q_budget=2)
+        for _ in range(2):
+            self.serve_one(service, session)
+        assert session.privacy.exhausted
+        blob = SessionState.capture(session).to_bytes()
+        replica = InferenceService(Server([nn.Identity() for _ in range(3)]),
+                                   max_batch=1)
+        restored = SessionState.from_bytes(blob).restore(
+            replica, nn.Identity(), nn.Identity())
+        with pytest.raises(PrivacyExhaustedError):
+            restored.submit_features(self.FEATURES)
+
+    def test_apply_ratchets_and_never_mints_budget(self):
+        service, session = self.make_metered()
+        for _ in range(3):
+            self.serve_one(service, session)
+        spent = session.privacy.spent
+        rotation_index = session.rotation.rotation_index
+        # A stale snapshot (taken earlier, lower counters) must not roll
+        # the live accounting back.
+        stale = SessionState(session_id=session.session_id, epoch=0,
+                             privacy=(2.0, 1000.0, 4, spent / 2, 1, 0))
+        stale.apply(session)
+        assert session.privacy.spent == spent
+        assert session.privacy.queries_charged == 3
+        assert session.rotation.rotation_index == rotation_index
+        # A further-ahead snapshot ratchets the live side forward.
+        ahead = SessionState(session_id=session.session_id, epoch=0,
+                             privacy=(2.0, 1000.0, 4, spent * 2, 4,
+                                      rotation_index + 5))
+        ahead.apply(session)
+        assert session.privacy.spent == spent * 2
+        assert session.privacy.queries_charged == 4
+        assert session.privacy.exhausted
+        assert session.rotation.rotation_index == rotation_index + 5
 
 
 class TestCheckpointStore:

@@ -25,6 +25,7 @@ def full_blob():
         selector=(5, (0, 2, 4)),
         noise=(1234, (8, 16, 16), 0.07),
         limiter=(20.0, 8.0, 3.25),
+        privacy=(2.0, 4.0, 512, 1.25, 17, 3),
         states={3: RequestState.COMPLETED, 9: RequestState.QUEUED},
     ).to_bytes()
 
@@ -150,6 +151,45 @@ class TestTargetedCorruption:
         struct.pack_into("<Q", blob, 20, 2)  # hwm below tracked id 4
         with pytest.raises(CheckpointError, match="high-water"):
             SessionState.from_bytes(reseal(bytes(blob)))
+
+    def privacy_body(self, privacy=(2.0, 4.0, 512, 1.25, 17, 3)):
+        """A privacy-only blob body: the 48-byte privacy block sits
+        right after the 38-byte header."""
+        return SessionState(session_id=1, privacy=privacy).to_bytes()[:-4]
+
+    def test_v1_blob_without_privacy_still_decodes(self):
+        state = SessionState(session_id=7, selector=(5, (0, 2, 4)),
+                             limiter=(20.0, 8.0, 3.25))
+        body = bytearray(state.to_bytes()[:-4])
+        body[4:6] = struct.pack("<H", 1)  # downgrade: v1 content fits v1
+        decoded = SessionState.from_bytes(reseal(bytes(body)))
+        assert decoded.selector == state.selector
+        assert decoded.limiter == state.limiter
+
+    def test_v1_blob_with_privacy_flag_rejected(self):
+        body = bytearray(self.privacy_body())
+        body[4:6] = struct.pack("<H", 1)  # v1 never defined flag 8
+        with pytest.raises(CheckpointError, match="flag"):
+            SessionState.from_bytes(reseal(bytes(body)))
+
+    def test_out_of_range_privacy_fields_rejected(self):
+        # (offset-in-block, struct code, poison) for each privacy field
+        # that has its own validation: alpha @0, eps @8, q_budget @16,
+        # spent @24.
+        poisons = [
+            (0, "<d", float("nan")),   # alpha must be finite
+            (0, "<d", 1.0),            # alpha must be > 1
+            (8, "<d", 0.0),            # eps must be > 0
+            (8, "<d", float("inf")),   # eps must be finite
+            (16, "<Q", 0),             # q_budget must be >= 1
+            (24, "<d", -1.0),          # spent must be >= 0
+            (24, "<d", float("nan")),  # spent must be finite
+        ]
+        for offset, code, poison in poisons:
+            body = bytearray(self.privacy_body())
+            struct.pack_into(code, body, 38 + offset, poison)
+            with pytest.raises(CheckpointError, match="privacy"):
+                SessionState.from_bytes(reseal(bytes(body)))
 
     def test_trailing_bytes_inside_crc_rejected(self):
         body = self.body() + b"\x00\x00\x00"

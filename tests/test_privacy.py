@@ -1,0 +1,590 @@
+"""Tests for repro.privacy: accounting, the budget ladder, rotation,
+and the serving integration (charging, refusal, seed isolation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ci import Server
+from repro.ci.pipeline import Client
+from repro.core.selector import Selector
+from repro.privacy import (
+    LEVEL_EXHAUSTED,
+    LEVEL_NORMAL,
+    LEVEL_RAISE_NOISE,
+    LEVEL_SHRINK_MAP,
+    PRIVACY_LADDER,
+    ROTATION_MODES,
+    STREAM_NOISE,
+    STREAM_ROTATION,
+    PrivacyBudget,
+    PrivacyPolicy,
+    RenyiAccountant,
+    RotationPolicy,
+    SelectorRotator,
+    derive_rng,
+    gaussian_rdp,
+    renyi_divergence,
+    subset_entropy,
+)
+from repro.serving import (
+    Arrival,
+    InferenceService,
+    PrivacyExhaustedError,
+    RequestState,
+    RetryPolicy,
+    SessionState,
+    TickCost,
+    simulate,
+)
+from repro.utils.rng import new_rng
+
+rng = np.random.default_rng(11)
+
+NUM_NETS = 4
+SUBSET = 2
+FEATURES = rng.random((1, 4, 4, 4)).astype(np.float32)
+
+
+def make_service(num_nets=NUM_NETS, max_batch=2, max_queue=32):
+    bodies = [nn.Identity() for _ in range(num_nets)]
+    return InferenceService(Server(bodies), max_batch=max_batch,
+                            max_queue=max_queue)
+
+
+def metered_session(service, privacy=(2.0, 1000.0, 3), rotation=None,
+                    seed=3):
+    client = Client(nn.Identity(), nn.Identity(),
+                    selector=Selector.random(NUM_NETS, SUBSET,
+                                             rng=new_rng(seed)))
+    return service.adopt_session(client, privacy=privacy, rotation=rotation)
+
+
+def serve_one(service, session, features=FEATURES):
+    rid = session.submit_features(features)
+    service.run_until_idle()
+    session.take_response(rid)
+    return rid
+
+
+# -- accountant math ------------------------------------------------------
+
+
+class TestRenyiDivergence:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert renyi_divergence(p, p, alpha=2.0) == pytest.approx(0.0)
+
+    def test_closed_form(self):
+        p = np.array([0.75, 0.25])
+        q = np.array([0.5, 0.5])
+        expected = math.log(p[0] ** 2 / q[0] + p[1] ** 2 / q[1])
+        assert renyi_divergence(p, q, alpha=2.0) == pytest.approx(expected)
+
+    def test_kl_branch(self):
+        p = np.array([0.6, 0.4])
+        q = np.array([0.5, 0.5])
+        expected = float(np.sum(p * np.log(p / q)))
+        assert renyi_divergence(p, q, alpha=1.0) == pytest.approx(expected)
+
+    def test_max_divergence_branch(self):
+        p = np.array([0.8, 0.2])
+        q = np.array([0.5, 0.5])
+        assert renyi_divergence(p, q, alpha=math.inf) == pytest.approx(
+            math.log(0.8 / 0.5))
+
+    def test_disjoint_support_is_inf(self):
+        assert renyi_divergence([1.0, 0.0], [0.0, 1.0], alpha=2.0) \
+            == math.inf
+
+    def test_monotone_in_alpha(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.3, 0.4, 0.3])
+        values = [renyi_divergence(p, q, alpha=a) for a in (1.0, 2.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            renyi_divergence([0.5, 0.5], [1.0], alpha=2.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            renyi_divergence([-0.1, 1.1], [0.5, 0.5], alpha=2.0)
+        with pytest.raises(ValueError, match="alpha"):
+            renyi_divergence([0.5, 0.5], [0.4, 0.6], alpha=-1.0)
+
+
+class TestGaussianRdp:
+    def test_closed_form(self):
+        assert gaussian_rdp(0.5, alpha=2.0, sensitivity=1.0) \
+            == pytest.approx(2.0 / (2 * 0.25))
+
+    def test_zero_sigma_infinitely_revealing(self):
+        assert gaussian_rdp(0.0, alpha=2.0) == math.inf
+        assert gaussian_rdp(0.0, alpha=2.0, sensitivity=0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sigma"):
+            gaussian_rdp(-0.1, alpha=2.0)
+        with pytest.raises(ValueError, match="sensitivity"):
+            gaussian_rdp(0.1, alpha=2.0, sensitivity=-1.0)
+
+
+class TestSubsetEntropy:
+    def test_single_body_is_plain_gaussian(self):
+        assert subset_entropy(1, 1) == 1.0
+
+    def test_binomial_growth(self):
+        assert subset_entropy(6, 2) == pytest.approx(1 + math.log2(15))
+        assert subset_entropy(6, 3) > subset_entropy(6, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="subset_size"):
+            subset_entropy(4, 0)
+        with pytest.raises(ValueError, match="subset_size"):
+            subset_entropy(4, 5)
+
+
+class TestPrivacyPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PrivacyPolicy(alpha=1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            PrivacyPolicy(alpha=math.inf)
+        with pytest.raises(ValueError, match="eps"):
+            PrivacyPolicy(eps=0.0)
+        with pytest.raises(ValueError, match="q_budget"):
+            PrivacyPolicy(q_budget=0)
+
+    def test_per_query_target(self):
+        policy = PrivacyPolicy(alpha=2.0, eps=4.0, q_budget=16)
+        assert policy.per_query_target == pytest.approx(
+            math.sqrt(2 * 4.0 / (16 * 2.0)))
+
+    def test_parse(self):
+        assert PrivacyPolicy.parse(None) is None
+        ready = PrivacyPolicy(2.0, 1.0, 8)
+        assert PrivacyPolicy.parse(ready) is ready
+        parsed = PrivacyPolicy.parse((3.0, 2.0, 4))
+        assert (parsed.alpha, parsed.eps, parsed.q_budget) == (3.0, 2.0, 4)
+
+
+class TestRenyiAccountant:
+    def test_query_loss_composition(self):
+        acct = RenyiAccountant(PrivacyPolicy(alpha=2.0, eps=10.0,
+                                             q_budget=100))
+        loss = acct.query_loss(0.1, revealed_fraction=0.5,
+                               subset_size=2, num_nets=6)
+        expected = gaussian_rdp(0.1, 2.0, math.sqrt(0.5)) / subset_entropy(
+            6, 2)
+        assert loss == pytest.approx(expected)
+
+    def test_revealed_fraction_validation(self):
+        acct = RenyiAccountant()
+        with pytest.raises(ValueError, match="revealed_fraction"):
+            acct.query_loss(0.1, revealed_fraction=0.0)
+        with pytest.raises(ValueError, match="revealed_fraction"):
+            acct.query_loss(0.1, revealed_fraction=1.5)
+
+    def test_charge_accumulates_linearly(self):
+        acct = RenyiAccountant(PrivacyPolicy(alpha=2.0, eps=1e9,
+                                             q_budget=1000))
+        loss = acct.query_loss(0.2)
+        for _ in range(5):
+            acct.charge(0.2)
+        assert acct.spent == pytest.approx(5 * loss)
+        assert acct.queries_charged == 5
+        assert not acct.exhausted
+
+    def test_exhaustion_by_eps_and_by_queries(self):
+        tight_eps = RenyiAccountant(PrivacyPolicy(2.0, 1e-6, 1000))
+        tight_eps.charge(0.1)
+        assert tight_eps.exhausted and tight_eps.remaining == 0.0
+        tight_q = RenyiAccountant(PrivacyPolicy(2.0, 1e9, 2))
+        tight_q.charge(0.1)
+        assert not tight_q.exhausted
+        tight_q.charge(0.1)
+        assert tight_q.exhausted
+        assert tight_q.fraction_spent == 1.0
+
+    def test_calibrate_sigma_inverts_charge(self):
+        acct = RenyiAccountant(PrivacyPolicy(alpha=2.0, eps=4.0, q_budget=8))
+        sigma = acct.calibrate_sigma(revealed_fraction=0.5,
+                                     subset_size=2, num_nets=6)
+        loss = acct.query_loss(sigma, revealed_fraction=0.5,
+                               subset_size=2, num_nets=6)
+        assert loss == pytest.approx(4.0 / 8)
+        for _ in range(8):
+            acct.charge(sigma, revealed_fraction=0.5, subset_size=2,
+                        num_nets=6)
+        assert acct.spent == pytest.approx(4.0)
+        assert acct.exhausted
+
+
+# -- budget ladder --------------------------------------------------------
+
+
+def budget_at(fraction, **kwargs):
+    """A budget with the query budget artificially depleted to fraction."""
+    budget = PrivacyBudget(PrivacyPolicy(2.0, 1e9, 100), **kwargs)
+    budget.accountant.queries_charged = int(fraction * 100)
+    return budget
+
+
+class TestPrivacyBudget:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="base_sigma"):
+            PrivacyBudget(base_sigma=-0.1)
+        with pytest.raises(ValueError, match="raise_noise_at"):
+            PrivacyBudget(raise_noise_at=0.9, shrink_map_at=0.5)
+        with pytest.raises(ValueError, match="noise_boost"):
+            PrivacyBudget(noise_boost=0.5)
+        with pytest.raises(ValueError, match="map_fraction"):
+            PrivacyBudget(map_fraction=0.0)
+
+    def test_ladder_levels_walk_with_depletion(self):
+        names = [budget_at(f).level_name for f in (0.0, 0.49, 0.5, 0.8, 1.0)]
+        assert names == ["normal", "normal", "raise-noise", "shrink-map",
+                         "exhausted"]
+        assert budget_at(0.5).level == LEVEL_RAISE_NOISE
+        assert budget_at(1.0).level == LEVEL_EXHAUSTED
+        assert PRIVACY_LADDER[LEVEL_NORMAL] == "normal"
+        assert PRIVACY_LADDER[LEVEL_SHRINK_MAP] == "shrink-map"
+
+    def test_effective_and_extra_sigma(self):
+        fresh = budget_at(0.0, base_sigma=0.1, noise_boost=2.0)
+        assert fresh.effective_sigma() == pytest.approx(0.1)
+        assert fresh.extra_sigma() == 0.0
+        raised = budget_at(0.6, base_sigma=0.1, noise_boost=2.0)
+        assert raised.effective_sigma() == pytest.approx(0.2)
+        # independent draw on top of the fixed base map:
+        # sqrt(base^2 + extra^2) == boost * base
+        assert raised.extra_sigma() == pytest.approx(0.1 * math.sqrt(3.0))
+        # None base falls back to the budget's own base_sigma (adopted
+        # sessions with no noise provenance).
+        assert raised.effective_sigma(None) == pytest.approx(0.2)
+        assert raised.effective_sigma(0.4) == pytest.approx(0.8)
+
+    def test_mask_outputs_zeroes_tail_channels(self):
+        budget = budget_at(0.9, map_fraction=0.5)
+        outs = [np.ones((2, 8, 3, 3)), np.ones((2, 1, 3, 3)),
+                np.ones(5)]
+        assert budget.mask_outputs(outs) is True
+        assert np.all(outs[0][:, :4] == 1.0)
+        assert np.all(outs[0][:, 4:] == 0.0)
+        # at least one channel always survives
+        assert np.all(outs[1] == 1.0)
+        # sub-2-D arrays are skipped, not crashed on
+        assert np.all(outs[2] == 1.0)
+
+    def test_mask_outputs_noop_below_shrink_level(self):
+        budget = budget_at(0.6, map_fraction=0.5)
+        outs = [np.ones((1, 4, 2, 2))]
+        assert budget.mask_outputs(outs) is False
+        assert np.all(outs[0] == 1.0)
+
+    def test_charge_query_uses_ladder_shape(self):
+        budget = budget_at(0.9, base_sigma=0.1, noise_boost=2.0,
+                           map_fraction=0.5)
+        reference = RenyiAccountant(budget.policy)
+        expected = reference.query_loss(0.2, revealed_fraction=0.5,
+                                        subset_size=2, num_nets=6)
+        assert budget.charge_query(subset_size=2, num_nets=6) \
+            == pytest.approx(expected)
+
+    def test_degraded_charges_are_cheaper(self):
+        fresh = budget_at(0.0, base_sigma=0.1, noise_boost=2.0)
+        degraded = budget_at(0.9, base_sigma=0.1, noise_boost=2.0,
+                             map_fraction=0.5)
+        assert degraded.charge_query() < fresh.charge_query()
+
+    def test_parse(self):
+        assert PrivacyBudget.parse(None) is None
+        ready = PrivacyBudget()
+        assert PrivacyBudget.parse(ready) is ready
+        from_tuple = PrivacyBudget.parse((2.0, 3.0, 7), base_sigma=0.25)
+        assert from_tuple.policy.q_budget == 7
+        assert from_tuple.base_sigma == 0.25
+        from_policy = PrivacyBudget.parse(PrivacyPolicy(2.0, 1.0, 2))
+        assert from_policy.policy.eps == 1.0
+
+
+# -- rotation -------------------------------------------------------------
+
+
+class _StubSession:
+    """The two hooks SelectorRotator touches, without a service."""
+
+    def __init__(self, selector, privacy=None, session_id=9, epoch=0):
+        self.client = Client(nn.Identity(), nn.Identity(), selector=selector)
+        self.privacy = privacy
+        self.session_id = session_id
+        self.epoch = epoch
+        self.refreshes = 0
+
+    @property
+    def selector(self):
+        return self.client._selector
+
+    def _refresh_privacy_rng(self):
+        self.refreshes += 1
+
+
+class TestRotationPolicy:
+    def test_modes(self):
+        assert ROTATION_MODES == ("per_query", "per_epoch", "budget")
+        with pytest.raises(ValueError, match="rotation mode"):
+            RotationPolicy(mode="hourly")
+        with pytest.raises(ValueError, match="queries_per_rotation"):
+            RotationPolicy(queries_per_rotation=0)
+        with pytest.raises(ValueError, match="budget_step"):
+            RotationPolicy(mode="budget", budget_step=0.0)
+
+    def test_parse(self):
+        assert RotationPolicy.parse(None) is None
+        ready = RotationPolicy(mode="budget")
+        assert RotationPolicy.parse(ready) is ready
+        assert RotationPolicy.parse("per_epoch").mode == "per_epoch"
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(7, 1, 3, STREAM_ROTATION).random(4)
+        b = derive_rng(7, 1, 3, STREAM_ROTATION).random(4)
+        assert np.array_equal(a, b)
+
+    def test_every_key_component_matters(self):
+        base = derive_rng(7, 1, 3, STREAM_ROTATION).random(4)
+        for key in ((8, 1, 3, STREAM_ROTATION), (7, 2, 3, STREAM_ROTATION),
+                    (7, 1, 4, STREAM_ROTATION), (7, 1, 3, STREAM_NOISE)):
+            assert not np.array_equal(base, derive_rng(*key).random(4))
+
+
+class TestSelectorRotator:
+    def test_per_query_cadence(self):
+        policy = RotationPolicy(mode="per_query", queries_per_rotation=2)
+        rotator = SelectorRotator(policy, session_id=5)
+        session = _StubSession(Selector.random(6, 2, rng=new_rng(1)))
+        # serves 1..6: the first window runs on the open-time subset,
+        # then a re-draw lands every second serve.
+        rotated = [rotator.maybe_rotate(session) for _ in range(6)]
+        assert rotated == [False, False, True, False, True, False]
+        assert rotator.rotations == 2
+        assert rotator.rotation_index == 2
+        assert session.refreshes == 2  # noise stream advanced with each draw
+
+    def test_rotation_preserves_arity(self):
+        rotator = SelectorRotator(RotationPolicy(), session_id=5)
+        session = _StubSession(Selector.random(6, 2, rng=new_rng(1)))
+        rotator.rotate(session)
+        assert session.selector.num_nets == 6
+        assert session.selector.num_active == 2
+
+    def test_rotation_requires_selector(self):
+        rotator = SelectorRotator(RotationPolicy(), session_id=5)
+        with pytest.raises(ValueError, match="selector"):
+            rotator.rotate(_StubSession(None))
+
+    def test_budget_mode_rotates_on_depletion_steps(self):
+        policy = RotationPolicy(mode="budget", budget_step=0.25)
+        rotator = SelectorRotator(policy, session_id=5)
+        budget = budget_at(0.0)
+        session = _StubSession(Selector.random(6, 2, rng=new_rng(1)),
+                               privacy=budget)
+        assert rotator.maybe_rotate(session) is False
+        budget.accountant.queries_charged = 30  # 0.30 spent: one step
+        assert rotator.maybe_rotate(session) is True
+        assert rotator.maybe_rotate(session) is False  # same step: no re-draw
+        budget.accountant.queries_charged = 60  # two steps further
+        assert rotator.maybe_rotate(session) is True
+
+    def test_per_epoch_rotates_on_advance_only(self):
+        rotator = SelectorRotator(RotationPolicy(mode="per_epoch"),
+                                  session_id=5)
+        session = _StubSession(Selector.random(6, 2, rng=new_rng(1)))
+        assert all(not rotator.maybe_rotate(session) for _ in range(4))
+        rotator.advance_epoch(1, session)
+        assert rotator.rotations == 1
+        assert rotator.epoch == 1
+
+    def test_same_cell_reproduces_draw_bit_exactly(self):
+        draws = []
+        for _ in range(2):
+            rotator = SelectorRotator(RotationPolicy(), session_id=5,
+                                      epoch=2)
+            session = _StubSession(Selector.random(6, 2, rng=new_rng(1)))
+            rotator.rotate(session)
+            draws.append(session.selector.indices)
+        assert draws[0] == draws[1]
+
+
+class TestSeedIsolation:
+    """Satellite: a restored incarnation never replays its predecessor."""
+
+    def _sequence(self, epoch, draws=6):
+        rotator = SelectorRotator(RotationPolicy(), session_id=5,
+                                  epoch=epoch)
+        session = _StubSession(Selector.random(8, 3, rng=new_rng(1)))
+        out = []
+        for _ in range(draws):
+            rotator.rotate(session)
+            out.append(session.selector.indices)
+        return out
+
+    def test_restored_incarnation_draws_fresh_sequence(self):
+        predecessor = self._sequence(epoch=0)
+        restored = self._sequence(epoch=1)
+        assert predecessor == self._sequence(epoch=0)  # replayable
+        assert predecessor != restored  # but never across epochs
+
+    def test_noise_stream_decorrelates_across_epochs(self):
+        a = derive_rng(5, 0, 3, STREAM_NOISE).normal(size=16)
+        b = derive_rng(5, 1, 3, STREAM_NOISE).normal(size=16)
+        assert not np.array_equal(a, b)
+
+
+# -- serving integration --------------------------------------------------
+
+
+class TestServingIntegration:
+    def test_every_served_query_charged_exactly_once(self):
+        service = make_service()
+        session = metered_session(service, privacy=(2.0, 1000.0, 3))
+        for _ in range(3):
+            serve_one(service, session)
+        assert service.stats.privacy_charged_queries == 3
+        assert session.privacy.queries_charged == 3
+        # replay the charges through a reference budget: the third query
+        # lands past the raise-noise threshold (2/3 of q_budget spent)
+        # and is charged at the boosted sigma, not the base one.
+        reference = PrivacyBudget(PrivacyPolicy(2.0, 1000.0, 3))
+        expected = sum(reference.charge_query(subset_size=SUBSET,
+                                              num_nets=NUM_NETS)
+                       for _ in range(3))
+        assert session.privacy.spent == pytest.approx(expected)
+        assert session.privacy.level_name == "exhausted"
+
+    def test_submit_past_exhaustion_raises_typed_error(self):
+        service = make_service()
+        session = metered_session(service, privacy=(2.0, 1000.0, 2))
+        for _ in range(2):
+            serve_one(service, session)
+        assert session.privacy.exhausted
+        with pytest.raises(PrivacyExhaustedError, match="privacy budget"):
+            session.submit_features(FEATURES)
+        assert service.stats.privacy_refusals == 1
+        assert service.stats.privacy_exhausted_sessions == 1
+
+    def test_exhausted_session_is_a_tombstone_not_unknown(self):
+        service = make_service()
+        session = metered_session(service, privacy=(2.0, 1000.0, 1))
+        serve_one(service, session)
+        for _ in range(3):  # stays typed on every later submit
+            with pytest.raises(PrivacyExhaustedError):
+                session.submit_features(FEATURES)
+        assert service.stats.privacy_exhausted_sessions == 1  # closed once
+        assert service.stats.privacy_refusals == 3
+
+    def test_exhaustion_cancels_queued_work(self):
+        service = make_service(max_batch=1)
+        session = metered_session(service, privacy=(2.0, 1000.0, 1))
+        first = session.submit_features(FEATURES)
+        second = session.submit_features(FEATURES)
+        service.run_until_idle()
+        assert session.request_state(first) is RequestState.COMPLETED
+        assert session.request_state(second) is RequestState.CANCELLED
+        assert service.stats.privacy_charged_queries == 1
+        assert service.stats.cancelled_requests == 1
+
+    def test_mid_group_refusal_never_serves_past_exhaustion(self):
+        service = make_service(max_batch=2)
+        session = metered_session(service, privacy=(2.0, 1000.0, 1))
+        first = session.submit_features(FEATURES)
+        second = session.submit_features(FEATURES)
+        service.tick()  # one coalesced group holds both requests
+        assert session.request_state(first) is RequestState.COMPLETED
+        assert session.request_state(second) is RequestState.REJECTED
+        assert service.stats.privacy_charged_queries == 1
+        assert service.stats.privacy_refusals == 1
+
+    def test_unmetered_sessions_are_never_charged(self):
+        service = make_service()
+        session = service.adopt_session(Client(nn.Identity(), nn.Identity()))
+        serve_one(service, session)
+        assert session.privacy is None
+        assert service.stats.privacy_charged_queries == 0
+
+    def test_rotation_during_serving(self):
+        service = make_service(max_batch=1)
+        session = metered_session(service, privacy=None,
+                                  rotation="per_query")
+        initial = session.selector.indices
+        seen = []
+        for _ in range(5):
+            serve_one(service, session)
+            seen.append(session.selector.indices)
+        assert service.stats.selector_rotations == 4  # first serve is free
+        assert any(indices != initial for indices in seen)
+
+    def test_shrink_map_level_masks_and_degrades(self):
+        service = make_service(max_batch=1)
+        session = metered_session(service, privacy=(2.0, 1000.0, 10))
+        session.privacy.accountant.queries_charged = 9  # 0.9: shrink-map
+        rid = session.submit_features(FEATURES)
+        service.run_until_idle()
+        response = session.take_response(rid)
+        assert response.degraded
+        maps = response.decoded()
+        keep = math.ceil(FEATURES.shape[1] * session.privacy.map_fraction)
+        for out in maps:
+            assert np.all(np.asarray(out)[:, keep:] == 0.0)
+        assert service.stats.degraded_responses >= 1
+
+    def test_privacy_exhaustion_is_not_retryable(self):
+        policy = RetryPolicy()
+        assert policy.retryable(PrivacyExhaustedError("spent")) is False
+
+    def test_restored_incarnation_does_not_replay_selectors(self):
+        """Satellite regression, end to end through checkpoint restore."""
+
+        def selector_sequence(session, service, queries=4):
+            out = []
+            for _ in range(queries):
+                serve_one(service, session)
+                out.append(session.selector.indices)
+            return out
+
+        service = make_service(max_batch=1)
+        session = metered_session(service, privacy=None,
+                                  rotation="per_query")
+        serve_one(service, session)  # some pre-checkpoint traffic
+        blob = SessionState.capture(session).to_bytes()
+
+        replica = make_service(max_batch=1)
+        restored = SessionState.from_bytes(blob).restore(
+            replica, nn.Identity(), nn.Identity(), rotation="per_query")
+        assert restored.epoch == session.epoch + 1
+        assert restored.rotation.rotation_index \
+            == session.rotation.rotation_index
+
+        predecessor = selector_sequence(session, service)
+        successor = selector_sequence(restored, replica)
+        assert predecessor != successor
+
+    def test_simulate_reports_privacy_outcomes(self):
+        service = make_service(max_batch=2, max_queue=64)
+        sessions = [metered_session(service, privacy=(2.0, 1000.0, 3),
+                                    rotation="per_query", seed=i)
+                    for i in range(2)]
+        trace = [Arrival(time=0.002 * i, session_index=i % 2,
+                         deadline_s=1.0) for i in range(12)]
+        report = simulate(service, sessions, trace, TickCost(),
+                          default_features=FEATURES)
+        assert report.conservation_ok
+        assert report.submitted == 12
+        assert report.served == 6  # 2 sessions x q_budget 3
+        assert report.privacy_refusals >= 1
+        assert report.exhausted_sessions == 2
+        assert report.rotations >= 2
+        assert report.terminal_counts.get("rejected", 0) \
+            + report.terminal_counts.get("cancelled", 0) == 6
