@@ -76,6 +76,10 @@ from repro.defenses import fit_ensembler  # noqa: E402
 from repro.metrics import batch_ssim  # noqa: E402
 from repro.privacy import PrivacyBudget, PrivacyPolicy  # noqa: E402
 from repro.serving import (  # noqa: E402
+    AdmissionController,
+    AdmissionPolicy,
+    Autoscaler,
+    AutoscalePolicy,
     DeadlineScheduler,
     FaultInjector,
     FaultPlan,
@@ -87,6 +91,7 @@ from repro.serving import (  # noqa: E402
     ServiceFleet,
     TickCost,
     bursty_trace,
+    diurnal_trace,
     simulate,
     simulate_fleet,
 )
@@ -275,6 +280,8 @@ def _weighted_shares(bodies, features, weight_ratio=2.0,
     sim_heavy, sim_light = (s.session_id for s in sim_sessions)
     return {
         "weight_ratio": weight_ratio,
+        "hierarchical": _hierarchical_shares(bodies, features,
+                                             max_batch=max_batch),
         "heavy_samples": served[heavy.session_id],
         "light_samples": served[light.session_id],
         "share_ratio": share_ratio,
@@ -285,6 +292,47 @@ def _weighted_shares(bodies, features, weight_ratio=2.0,
             "light_p50_ms": report.session_percentile(sim_light, 50) * 1e3,
             "light_p95_ms": report.session_percentile(sim_light, 95) * 1e3,
         },
+    }
+
+
+def _hierarchical_shares(bodies, features, requests_per_session=20,
+                         max_batch=3) -> dict:
+    """Hierarchical QoS: a rate class's aggregate share is fixed.
+
+    Two unit-weight members share a weight-2 class against a weight-2
+    outsider; while all three are backlogged the class as a whole should
+    match the outsider sample-for-sample, and the members should split
+    the class's half equally — one organisation-level share, subdivided
+    internally, instead of each sub-tenant buying fleet-wide weight.
+    """
+    service, (m1, m2, outsider) = _make_policy_service(
+        bodies, "weighted", 3, max_batch=max_batch, weights=(1.0, 1.0, 2.0))
+    service.scheduler.set_rate_class(m1.session_id, "org", class_weight=2.0)
+    service.scheduler.set_rate_class(m2.session_id, "org")
+    for _ in range(requests_per_session):
+        m1.submit_features(features)
+        m2.submit_features(features)
+        outsider.submit_features(features)
+    served = {s.session_id: 0 for s in (m1, m2, outsider)}
+    while m1.outstanding and m2.outstanding and outsider.outstanding:
+        for response in service.tick():
+            served[response.session_id] += response.outputs[0].shape[0]
+    service.run_until_idle()
+    for session in (m1, m2, outsider):
+        session.discard_results()
+    class_samples = served[m1.session_id] + served[m2.session_id]
+    outsider_samples = served[outsider.session_id]
+    aggregate_ratio = class_samples / max(outsider_samples, 1)
+    member_ratio = served[m1.session_id] / max(served[m2.session_id], 1)
+    return {
+        "class_weight": 2.0,
+        "outsider_weight": 2.0,
+        "member_samples": [served[m1.session_id], served[m2.session_id]],
+        "outsider_samples": outsider_samples,
+        "aggregate_ratio": aggregate_ratio,
+        "aggregate_error": abs(aggregate_ratio - 1.0),
+        "member_split_ratio": member_ratio,
+        "member_split_error": abs(member_ratio - 1.0),
     }
 
 
@@ -513,6 +561,140 @@ def print_fleet_chaos_record(record: dict) -> None:
           f"{record['goodput_ratio']:.2f}x fault-free "
           f"(after-kill {chaos['goodput_after_kill_rps']:.0f} r/s vs "
           f"before-kill {chaos['goodput_before_kill_rps']:.0f} r/s)")
+
+
+# -- fleet-scale traffic engine (PR 9) ----------------------------------
+#
+# 10^4 sessions streamed lazily through a diurnal arrival trace; the
+# static 2-replica fleet saturates at the diurnal peak (per-replica
+# service rate ~100 req/s vs a ~240 req/s peak), the autoscaled fleet
+# spawns capacity into the peak and drains it back out.  Identity bodies:
+# this mode measures the serving plane (scheduling, elasticity,
+# admission), not the stacked forward.
+
+FLEET_SCALE_SESSIONS = 10_000
+FLEET_SCALE_REQUESTS = 15_000
+FLEET_SCALE_PRIVACY_SESSIONS = 200  # metered tenants riding the trace
+FLEET_SCALE_BASE_HZ = 30.0
+FLEET_SCALE_PERIOD_S = 40.0
+FLEET_SCALE_PEAK_FACTOR = 8.0
+FLEET_SCALE_COST = TickCost(pass_overhead_s=0.010, per_sample_s=0.008,
+                            per_request_downlink_s=0.0005)
+FLEET_SCALE_POLICY = FleetPolicy(heartbeat_interval_s=0.5,
+                                 suspect_after_s=2.0, down_after_s=4.0,
+                                 checkpoint_interval_s=30.0)
+FLEET_SCALE_AUTOSCALE = AutoscalePolicy(
+    min_replicas=2, max_replicas=6, scale_up_pressure=0.5,
+    scale_down_pressure=0.1, smoothing=0.4, patience=2, cooldown_s=2.0,
+    check_interval_s=0.25)
+FLEET_SCALE_ADMISSION = AdmissionPolicy(downgrade_pressure=0.7,
+                                        reject_pressure=0.95)
+
+
+def _scale_replica():
+    return InferenceService(Server([nn.Identity(), nn.Identity()]),
+                            max_batch=8, max_queue=96, scheduler="fifo")
+
+
+def _fleet_scale_replay(features, autoscale: bool) -> dict:
+    """One lazy diurnal replay; optionally elastic (2 → ≤ 6 replicas)."""
+    fleet = ServiceFleet([_scale_replica(), _scale_replica()],
+                         policy=FLEET_SCALE_POLICY)
+    sessions = [
+        fleet.adopt_session(
+            Client(nn.Identity(), nn.Identity()), rate_limit=None,
+            privacy=((2.0, 1e6, 10**6)
+                     if i < FLEET_SCALE_PRIVACY_SESSIONS else None))
+        for i in range(FLEET_SCALE_SESSIONS)]
+    trace = diurnal_trace(FLEET_SCALE_SESSIONS, FLEET_SCALE_REQUESTS,
+                          FLEET_SCALE_BASE_HZ,
+                          period_s=FLEET_SCALE_PERIOD_S,
+                          peak_factor=FLEET_SCALE_PEAK_FACTOR, seed=17)
+    autoscaler = (Autoscaler(fleet, FLEET_SCALE_AUTOSCALE,
+                             replica_factory=_scale_replica)
+                  if autoscale else None)
+    admission = AdmissionController(FLEET_SCALE_ADMISSION)
+    start = time.perf_counter()
+    report = simulate_fleet(fleet, sessions, trace, FLEET_SCALE_COST,
+                            default_features=features,
+                            autoscaler=autoscaler, admission=admission)
+    wall_s = time.perf_counter() - start
+    return {
+        "submitted": report.submitted,
+        "served": report.served,
+        "goodput_rps": report.goodput_rps,
+        "p50_ms": report.p50_s * 1e3,
+        "p95_ms": report.p95_s * 1e3,
+        "p99_ms": report.p99_s * 1e3,
+        "makespan_s": report.makespan_s,
+        "conservation_ok": report.conservation_ok,
+        "duplicate_serves": report.duplicate_serves,
+        "spawns": report.spawns,
+        "drains": report.drains_scaled,
+        "replicas_final": report.replicas_final,
+        "migrations": len(report.migration_epsilon_log),
+        "epsilon_ratchet_ok": report.epsilon_ratchet_ok,
+        "admission_rejected": report.admission_rejected,
+        "admission_downgraded": report.admission_downgraded,
+        "arrivals_rejected": report.arrivals_rejected,
+        "autoscale_log": [(round(t, 3), action, rid, round(pressure, 3))
+                          for t, action, rid, pressure
+                          in report.autoscale_log],
+        "exact_latencies_retained": len(report.latencies_s),
+        "wall_s": wall_s,
+    }
+
+
+def run_fleet_scale_benchmark() -> dict:
+    """Fleet-scale record: the same 10^4-session / 15k-request diurnal
+    stream replayed over a static 2-replica fleet and an autoscaled
+    (2 → ≤ 6) fleet, both behind the same admission controller.  The
+    trace is a generator — reports stay sketch-backed (O(sessions · k)
+    memory, exact per-request lists never materialise)."""
+    rng = np.random.default_rng(9)
+    features = rng.random((REQUEST_BATCH, 8, 4, 4), dtype=np.float32)
+    static = _fleet_scale_replay(features, autoscale=False)
+    autoscaled = _fleet_scale_replay(features, autoscale=True)
+    return {
+        "benchmark": "fleet_scale",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_sessions": FLEET_SCALE_SESSIONS,
+        "num_requests": FLEET_SCALE_REQUESTS,
+        "privacy_sessions": FLEET_SCALE_PRIVACY_SESSIONS,
+        "base_rate_hz": FLEET_SCALE_BASE_HZ,
+        "period_s": FLEET_SCALE_PERIOD_S,
+        "peak_factor": FLEET_SCALE_PEAK_FACTOR,
+        "static": static,
+        "autoscaled": autoscaled,
+        "goodput_ratio": (autoscaled["goodput_rps"] / static["goodput_rps"]
+                          if static["goodput_rps"] > 0 else 0.0),
+        "p99_ratio": (autoscaled["p99_ms"] / static["p99_ms"]
+                      if static["p99_ms"] > 0 else 0.0),
+    }
+
+
+def print_fleet_scale_record(record: dict) -> None:
+    print(f"\nfleet-scale diurnal stream (S={record['num_sessions']} "
+          f"sessions, {record['num_requests']} requests, "
+          f"base {record['base_rate_hz']:.0f} Hz x "
+          f"{record['peak_factor']:.0f} peak, "
+          f"{record['privacy_sessions']} metered tenants)")
+    print(f"{'':>10}  {'served':>6}  {'goodput [r/s]':>13}  {'p50 [ms]':>9}  "
+          f"{'p99 [ms]':>9}  {'replicas':>8}  {'rejected':>8}  {'wall [s]':>8}")
+    for name in ("static", "autoscaled"):
+        row = record[name]
+        print(f"{name:>10}  {row['served']:>6}  {row['goodput_rps']:>13.1f}  "
+              f"{row['p50_ms']:>9.1f}  {row['p99_ms']:>9.1f}  "
+              f"{row['replicas_final']:>8}  {row['admission_rejected']:>8}  "
+              f"{row['wall_s']:>8.1f}")
+    auto = record["autoscaled"]
+    timeline = ", ".join(f"t={t:.0f}s {action} r{rid} (p={p:.2f})"
+                         for t, action, rid, p in auto["autoscale_log"])
+    print(f"autoscale timeline: {timeline or 'no actions'}")
+    print(f"autoscaled vs static: goodput {record['goodput_ratio']:.2f}x, "
+          f"p99 {record['p99_ratio']:.2f}x; {auto['migrations']} live "
+          f"migrations, epsilon ratchet "
+          f"{'ok' if auto['epsilon_ratchet_ok'] else 'VIOLATED'}")
 
 
 PRIVACY_NUM_NETS = 6
@@ -834,6 +1016,12 @@ def print_scheduler_record(record: dict) -> None:
           f"error {weighted['share_error'] * 100:.1f}%); simulated "
           f"heavy p50/p95 {sim['heavy_p50_ms']:.1f}/{sim['heavy_p95_ms']:.1f} ms, "
           f"light p50/p95 {sim['light_p50_ms']:.1f}/{sim['light_p95_ms']:.1f} ms")
+    hier = weighted["hierarchical"]
+    print(f"hierarchical class: {hier['member_samples'][0]}+"
+          f"{hier['member_samples'][1]} class samples vs "
+          f"{hier['outsider_samples']} outsider "
+          f"(aggregate {hier['aggregate_ratio']:.2f}x, member split "
+          f"{hier['member_split_ratio']:.2f}x)")
     codec = record["codec"]
     print(f"downlink codec: fp32 {codec['fp32_downlink_bytes']} B, "
           f"fp16 {codec['fp16_downlink_bytes']} B "
@@ -894,6 +1082,13 @@ def test_scheduler_comparison():
         f"weighted shares off the configured "
         f"{record['weighted']['weight_ratio']:g}:1 by "
         f"{record['weighted']['share_error'] * 100:.1f}% (> 15%)")
+    hierarchical = record["weighted"]["hierarchical"]
+    assert hierarchical["aggregate_error"] <= 0.15, (
+        f"rate class aggregate share off the configured 1:1 vs the "
+        f"outsider by {hierarchical['aggregate_error'] * 100:.1f}% (> 15%)")
+    assert hierarchical["member_split_error"] <= 0.15, (
+        f"intra-class members split the class share unevenly: "
+        f"{hierarchical['member_split_ratio']:.2f}x (> 15% off 1:1)")
     assert record["codec"]["downlink_reduction"] >= 1.9, (
         f"fp16 codec must cut downlink bytes ≥1.9x, got "
         f"{record['codec']['downlink_reduction']:.2f}x")
@@ -956,6 +1151,38 @@ def test_fleet_chaos():
         f"1/{record['num_replicas']}")
 
 
+def test_fleet_scale():
+    """Acceptance bars for the fleet-scale traffic engine: on the same
+    10^4-session diurnal stream the autoscaled fleet's p99 must not
+    exceed the static baseline's and its goodput must match or beat it;
+    the control loop must actually act (≥ 1 spawn, with live migrations
+    whose ε ledger never decreases); and the fleet invariants hold at
+    scale — every submission conserved, zero duplicate serves, exact
+    latency lists never materialised for the streamed trace."""
+    record = run_fleet_scale_benchmark()
+    write_record(record)
+    print_fleet_scale_record(record)
+    for name in ("static", "autoscaled"):
+        arm = record[name]
+        assert arm["conservation_ok"], \
+            f"{name}: requests leaked without a terminal state"
+        assert arm["duplicate_serves"] == 0, \
+            f"{name}: a request was served twice"
+        assert arm["exact_latencies_retained"] == 0, (
+            f"{name}: a streamed trace materialised "
+            f"{arm['exact_latencies_retained']} exact latencies")
+    auto = record["autoscaled"]
+    assert auto["spawns"] >= 1, "the diurnal peak never forced a scale-up"
+    assert auto["migrations"] > 0, "scale-up moved no sessions"
+    assert auto["epsilon_ratchet_ok"], \
+        "a migration rolled a privacy ledger backwards"
+    assert auto["p99_ms"] <= record["static"]["p99_ms"], (
+        f"autoscaled p99 ({auto['p99_ms']:.1f} ms) worse than static "
+        f"({record['static']['p99_ms']:.1f} ms)")
+    assert record["goodput_ratio"] >= 1.0, (
+        f"autoscaling lost goodput: {record['goodput_ratio']:.2f}x static")
+
+
 def test_privacy_defense():
     """Acceptance bars for the privacy tier: a once-leaked subset decodes
     static-selector traffic perfectly (SSIM 1.0) but per-query rotation
@@ -1008,6 +1235,9 @@ if __name__ == "__main__":
     fleet = run_fleet_chaos_benchmark()
     write_record(fleet)
     print_fleet_chaos_record(fleet)
+    scale = run_fleet_scale_benchmark()
+    write_record(scale)
+    print_fleet_scale_record(scale)
     privacy = run_privacy_benchmark()
     write_record(privacy)
     print_privacy_record(privacy)

@@ -4,8 +4,9 @@
 Two checks, both intended for CI (which also uploads ``docs/`` plus the
 rendered API text as a workflow artifact):
 
-* **pydoc render** — import every ``repro.serving`` and ``repro.privacy``
-  module and render its documentation with :mod:`pydoc` into
+* **pydoc render** — import every ``repro.serving``, ``repro.privacy``
+  and ``repro.telemetry`` module and render its documentation with
+  :mod:`pydoc` into
   ``build/docs-api/``.  This catches signature drift the moment it
   happens: a public class/function whose import breaks, or whose
   docstring disappears, fails the build.  Public API members (everything
@@ -29,6 +30,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SERVING_MODULES = (
     "repro.serving",
+    "repro.serving.autoscale",
     "repro.serving.checkpoint",
     "repro.serving.errors",
     "repro.serving.faults",
@@ -39,15 +41,19 @@ SERVING_MODULES = (
     "repro.serving.service",
     "repro.serving.session",
     "repro.serving.simulate",
+    "repro.serving.traffic",
     "repro.privacy",
     "repro.privacy.accountant",
     "repro.privacy.budget",
     "repro.privacy.rotation",
+    "repro.telemetry",
+    "repro.telemetry.metrics",
+    "repro.telemetry.sketch",
 )
 
 #: Packages whose ``__all__`` (and exported classes' public methods) must
 #: carry docstrings.
-API_PACKAGES = ("repro.serving", "repro.privacy")
+API_PACKAGES = ("repro.serving", "repro.privacy", "repro.telemetry")
 
 RENDER_DIR = REPO_ROOT / "build" / "docs-api"
 

@@ -30,6 +30,12 @@ benchmarks live in ``benchmarks/``):
   exactly one terminal state across failover, serve no request twice
   (``duplicate_serves == 0``), and migrate at most half the live
   sessions (the consistent-hash ring bounds the blast radius near 1/N).
+* **fleet_scale** — on the same 10^4-session diurnal stream (lazy
+  generator trace, sketch-backed reports) the autoscaled fleet's p99
+  must not exceed the static 2-replica baseline's and its goodput must
+  be >= 1.0x; the control loop must actually spawn into the peak, with
+  live migrations whose per-session epsilon ledger only ever ratchets
+  up; both arms must conserve every submission with zero duplicates.
 * **privacy** — a once-leaked secret subset must decode static-selector
   traffic perfectly (SSIM ~1.0) while per-query rotation degrades it;
   clean-task accuracy must stay within 0.25 of the static selector; and
@@ -163,6 +169,16 @@ def check_schedulers() -> list[str]:
                 f"{record['weighted']['weight_ratio']:g}:1 by "
                 f"{share_error * 100:.1f}% (> 15%): "
                 f"{record['weighted']['share_ratio']:.2f}x")
+        hierarchical = record["weighted"]["hierarchical"]
+        if hierarchical["aggregate_error"] > 0.15:
+            failures.append(
+                f"scheduler: rate-class aggregate share off 1:1 vs the "
+                f"outsider by {hierarchical['aggregate_error'] * 100:.1f}% "
+                f"(> 15%)")
+        if hierarchical["member_split_error"] > 0.15:
+            failures.append(
+                f"scheduler: intra-class members split the class share "
+                f"unevenly ({hierarchical['member_split_ratio']:.2f}x)")
         reduction = record["codec"]["downlink_reduction"]
         if reduction < 1.9:
             failures.append(
@@ -244,6 +260,54 @@ def check_fleet() -> list[str]:
     return failures
 
 
+def check_fleet_scale() -> list[str]:
+    """Fleet-scale gate: elasticity must pay for itself at 10^4 sessions.
+
+    Deterministic (seeded trace generators, virtual clocks), so a
+    failure is a real regression in the autoscaler, the admission
+    controller, or the streaming simulators — not timing noise.
+    """
+    bench = load_bench("bench_serving")
+    record = bench.run_fleet_scale_benchmark()
+    bench.write_record(record)
+    bench.print_fleet_scale_record(record)
+    failures = []
+    for name in ("static", "autoscaled"):
+        arm = record[name]
+        if not arm["conservation_ok"]:
+            failures.append(
+                f"fleet_scale: {name} replay leaked requests without a "
+                f"terminal state")
+        if arm["duplicate_serves"]:
+            failures.append(
+                f"fleet_scale: {name} replay served "
+                f"{arm['duplicate_serves']} requests twice")
+        if arm["exact_latencies_retained"]:
+            failures.append(
+                f"fleet_scale: {name} replay materialised "
+                f"{arm['exact_latencies_retained']} exact latencies for a "
+                f"streamed trace (sketches only at scale)")
+    auto = record["autoscaled"]
+    if auto["spawns"] < 1:
+        failures.append(
+            "fleet_scale: the diurnal peak never forced a scale-up")
+    if auto["migrations"] < 1:
+        failures.append("fleet_scale: scale-up moved no sessions")
+    if not auto["epsilon_ratchet_ok"]:
+        failures.append(
+            "fleet_scale: a live migration rolled a privacy ledger "
+            "backwards")
+    if auto["p99_ms"] > record["static"]["p99_ms"]:
+        failures.append(
+            f"fleet_scale: autoscaled p99 ({auto['p99_ms']:.1f} ms) worse "
+            f"than static ({record['static']['p99_ms']:.1f} ms)")
+    if record["goodput_ratio"] < 1.0:
+        failures.append(
+            f"fleet_scale: autoscaling lost goodput "
+            f"({record['goodput_ratio']:.2f}x static, < 1.0x)")
+    return failures
+
+
 def check_privacy() -> list[str]:
     """Privacy-tier gate: rotation must devalue leaked subsets, budgets
     must be conserved, and exhausted sessions must be refused.
@@ -286,7 +350,7 @@ def check_privacy() -> list[str]:
 def main() -> int:
     failures = (check_ensemble() + check_attack() + check_serving()
                 + check_schedulers() + check_chaos() + check_fleet()
-                + check_privacy())
+                + check_fleet_scale() + check_privacy())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
@@ -301,6 +365,8 @@ def main() -> int:
           "chaos goodput >= 0.85x fault-free with request conservation, "
           "fleet goodput >= 0.70x after a replica kill with zero duplicate "
           "serves and a bounded failover blast radius, "
+          "autoscaled fleet p99 <= static at 10^4 sessions with goodput "
+          ">= 1.0x and a monotone epsilon ledger across live migrations, "
           "privacy rotation devalues leaked subsets with conserved budgets "
           "and hard refusal past exhaustion")
     return 0

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fleet-scale smoke: a 10^5-arrival streamed replay inside a time budget.
+
+CI runs this after the perf gates.  One heavy-tailed generator trace of
+100 000 arrivals over 20 000 sessions streams through a 3-replica
+:class:`~repro.serving.fleet.ServiceFleet` (fifo replicas, no faults, no
+privacy metering — the point is throughput of the serving plane itself).
+The trace is never materialised and the report stays sketch-backed, so
+the replay's memory is O(sessions · k), not O(requests).  Three bars:
+
+* **wall clock** — the replay (simulation only, fixture setup excluded)
+  finishes in under ``WALL_BUDGET_S`` seconds (120 by default; override
+  with ``SMOKE_SCALE_BUDGET_S`` for slow shared runners);
+* **memory** — peak RSS after the replay stays under ``RSS_BUDGET_MIB``
+  (4 GiB), which a materialised per-request latency ledger at this scale
+  would threaten;
+* **correctness at scale** — every arrival conserved in exactly one
+  terminal state, zero duplicate serves, exact latency lists empty
+  (streamed traces are sketch-only by default).
+
+Usage: ``python scripts/smoke_scale.py``
+"""
+
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import nn  # noqa: E402
+from repro.ci import Server  # noqa: E402
+from repro.ci.pipeline import Client  # noqa: E402
+from repro.serving import (  # noqa: E402
+    FleetPolicy,
+    InferenceService,
+    ServiceFleet,
+    TickCost,
+    heavy_tailed_trace,
+    simulate_fleet,
+)
+
+NUM_SESSIONS = 20_000
+NUM_ARRIVALS = 100_000
+RATE_HZ = 400.0
+NUM_REPLICAS = 3
+WALL_BUDGET_S = float(os.environ.get("SMOKE_SCALE_BUDGET_S", "120"))
+RSS_BUDGET_MIB = 4096.0
+
+
+def peak_rss_mib() -> float:
+    """Peak RSS of this process in MiB (ru_maxrss is KiB on Linux)."""
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there
+        peak_kib /= 1024.0
+    return peak_kib / 1024.0
+
+
+def main() -> int:
+    fleet = ServiceFleet(
+        [InferenceService(Server([nn.Identity(), nn.Identity()]),
+                          max_batch=16, max_queue=512, scheduler="fifo")
+         for _ in range(NUM_REPLICAS)],
+        policy=FleetPolicy(heartbeat_interval_s=1.0, suspect_after_s=4.0,
+                           down_after_s=8.0, checkpoint_interval_s=60.0))
+    sessions = [fleet.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                    rate_limit=None)
+                for _ in range(NUM_SESSIONS)]
+    features = np.ones((1, 4, 2, 2), dtype=np.float32)
+    trace = heavy_tailed_trace(NUM_SESSIONS, NUM_ARRIVALS, RATE_HZ, seed=5)
+    cost = TickCost(pass_overhead_s=0.004, per_sample_s=0.0015)
+
+    start = time.perf_counter()
+    report = simulate_fleet(fleet, sessions, trace, cost,
+                            default_features=features)
+    wall_s = time.perf_counter() - start
+    rss_mib = peak_rss_mib()
+
+    print(f"smoke scale: {report.submitted} arrivals over {NUM_SESSIONS} "
+          f"sessions, {NUM_REPLICAS} replicas")
+    print(f"  served {report.served} ({report.goodput_rps:.0f} r/s virtual), "
+          f"p50/p99 {report.p50_s * 1e3:.1f}/{report.p99_s * 1e3:.1f} ms, "
+          f"makespan {report.makespan_s:.1f} s virtual")
+    print(f"  wall {wall_s:.1f} s (budget {WALL_BUDGET_S:.0f} s), "
+          f"peak RSS {rss_mib:.0f} MiB (budget {RSS_BUDGET_MIB:.0f} MiB)")
+
+    failures = []
+    if report.submitted != NUM_ARRIVALS:
+        failures.append(f"submitted {report.submitted} != {NUM_ARRIVALS}")
+    if not report.conservation_ok:
+        failures.append(
+            f"requests leaked without a terminal state: "
+            f"{report.terminal_counts}")
+    if report.duplicate_serves:
+        failures.append(f"{report.duplicate_serves} duplicate serves")
+    if report.latencies_s:
+        failures.append(
+            f"streamed trace materialised {len(report.latencies_s)} exact "
+            f"latencies (sketches only at scale)")
+    if wall_s > WALL_BUDGET_S:
+        failures.append(
+            f"wall clock {wall_s:.1f} s over the {WALL_BUDGET_S:.0f} s budget")
+    if rss_mib > RSS_BUDGET_MIB:
+        failures.append(
+            f"peak RSS {rss_mib:.0f} MiB over the {RSS_BUDGET_MIB:.0f} MiB "
+            f"budget")
+    if failures:
+        print("\nSMOKE SCALE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nsmoke scale ok: 10^5 streamed arrivals conserved with zero "
+          "duplicates, sketch-only reporting, inside the wall and memory "
+          "budgets")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

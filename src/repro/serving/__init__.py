@@ -43,7 +43,17 @@ forward, so K waiting requests cost one fused pass instead of K.
   :class:`SessionState` byte encoding (selector subset, noise seed,
   codec, weight, token level, request lifecycle) with an in-memory
   :class:`CheckpointStore`; corrupt blobs raise a typed
-  :class:`CheckpointError`, never restore silently-wrong state.
+  :class:`CheckpointError`, never restore silently-wrong state;
+* :mod:`repro.serving.autoscale` — the elastic-sizing control loop: an
+  :class:`Autoscaler` spawns/drains fleet replicas on a smoothed
+  queue-pressure signal with hysteresis and cooldown, migrating
+  sessions through the existing drain/checkpoint machinery so privacy
+  state never replays;
+* :mod:`repro.serving.traffic` — fleet-scale traffic shaping: a
+  per-session :class:`AdmissionController` (admit / best-effort
+  downgrade / reject at the door) and lazy streaming trace builders
+  (:func:`heavy_tailed_trace`, :func:`diurnal_trace`) that generate
+  10^4–10^6-session arrival streams without materialising them.
 
 Sessions may additionally carry a per-session privacy budget and a
 selector-rotation policy from :mod:`repro.privacy`: the service charges
@@ -54,6 +64,11 @@ re-draws the secret subset per the rotation policy (``docs/privacy.md``).
 The single-tenant ``repro.ci`` pipelines are thin adapters over this API.
 """
 
+from repro.serving.autoscale import (
+    Autoscaler,
+    AutoscaleEvent,
+    AutoscalePolicy,
+)
 from repro.serving.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointStore,
@@ -128,10 +143,26 @@ from repro.serving.simulate import (
     simulate,
     simulate_fleet,
 )
+from repro.serving.traffic import (
+    ADMIT,
+    DOWNGRADE,
+    REJECT,
+    AdmissionController,
+    AdmissionPolicy,
+    diurnal_trace,
+    heavy_tailed_trace,
+)
 
 __all__ = [
+    "ADMIT",
+    "AdmissionController",
+    "AdmissionPolicy",
     "Arrival",
+    "Autoscaler",
+    "AutoscaleEvent",
+    "AutoscalePolicy",
     "BackpressureError",
+    "DOWNGRADE",
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "CheckpointStore",
@@ -155,6 +186,7 @@ __all__ = [
     "OverloadPolicy",
     "PrivacyExhaustedError",
     "ProtocolError",
+    "REJECT",
     "RateLimit",
     "RateLimitedError",
     "RateLimiter",
@@ -181,6 +213,8 @@ __all__ = [
     "WIRE_VERSION",
     "WeightedFairScheduler",
     "bursty_trace",
+    "diurnal_trace",
+    "heavy_tailed_trace",
     "is_serving_error",
     "make_scheduler",
     "poisson_trace",

@@ -1,0 +1,198 @@
+"""Elastic fleet sizing: spawn/drain replicas on smoothed load signals.
+
+A static :class:`~repro.serving.fleet.ServiceFleet` sized for peak load
+idles through the troughs and sized for the mean melts at the peak; the
+:class:`Autoscaler` closes that loop.  It watches one scalar — the
+fleet-wide queue pressure (:attr:`ServiceFleet.pressure`, queued work
+over total queue capacity) — smooths it with an EWMA so a single burst
+cannot flap the fleet, and acts only after ``patience`` consecutive
+breaches of a threshold *and* outside a post-action ``cooldown_s``
+window (double hysteresis: both conditions are load-signal debouncing,
+the same pattern as the overload ladder's patience counters and the
+failure detector's SUSPECT band).
+
+Scaling actions reuse the fleet's existing migration machinery, which is
+what keeps the privacy story intact:
+
+* **Scale up** — :meth:`ServiceFleet.spawn_replica` adds a replica to
+  the consistent-hash ring; the sessions on its arcs (~1/N) migrate
+  *live* (the shared :class:`~repro.serving.session.Session` object
+  moves, so the Rényi accountant and selector rotation state carry
+  without replay) and are checkpointed at the new home.
+* **Scale down** — :meth:`ServiceFleet.drain` marks the emptiest ring
+  replica ``DRAINING``: it leaves the ring (new work re-homes via
+  checkpointed graceful migration, no epoch bump) but keeps ticking its
+  backlog, so no queued request is abandoned by the act of scaling in.
+
+Both paths append to ``fleet.migration_epsilon_log``; the fleet-scale
+benchmark gate asserts spent ε only ever ratchets up across every such
+migration — elasticity can never mint privacy budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["AutoscaleEvent", "AutoscalePolicy", "Autoscaler"]
+
+#: Autoscale action names, as they appear in :class:`AutoscaleEvent`.
+SCALE_UP = "spawn"
+SCALE_DOWN = "drain"
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and debouncing for the scaling control loop.
+
+    The smoothed pressure must sit above ``scale_up_pressure`` (or below
+    ``scale_down_pressure``) for ``patience`` consecutive observations
+    before the autoscaler acts, and after any action it sleeps for
+    ``cooldown_s`` virtual seconds — long enough for the migration the
+    action triggered to show up in the signal, so one overload never
+    cascades into a spawn storm.  ``smoothing`` is the EWMA weight of
+    the newest observation (1.0 = no smoothing).  The replica count is
+    clamped to ``[min_replicas, max_replicas]`` counting only replicas
+    on the ring (draining/fenced replicas no longer absorb load).
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_pressure: float = 0.7
+    scale_down_pressure: float = 0.2
+    smoothing: float = 0.3
+    patience: int = 2
+    cooldown_s: float = 0.5
+    check_interval_s: float = 0.05
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if not 0.0 <= self.scale_down_pressure < self.scale_up_pressure <= 1.0:
+            raise ValueError("need 0 <= scale_down_pressure < "
+                             "scale_up_pressure <= 1 (the gap is the "
+                             "hysteresis band)")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be >= 0")
+        if not self.check_interval_s > 0.0:
+            raise ValueError("check_interval_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscaleEvent:
+    """One scaling action: what happened, when, and on which signal."""
+
+    time: float        # virtual time of the action
+    action: str        # SCALE_UP ("spawn") or SCALE_DOWN ("drain")
+    replica_id: int    # the replica spawned or drained
+    pressure: float    # the smoothed signal that triggered it
+    ring_replicas: int  # replicas on the ring after the action
+    migrated: int      # sessions re-homed by the action
+
+
+class Autoscaler:
+    """The scaling control loop over one :class:`ServiceFleet`.
+
+    ``replica_factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.serving.service.InferenceService` (same ensemble, so
+    a migrated session's selector indices stay valid); it is invoked
+    once per scale-up.  Drive the loop by calling :meth:`step` on a
+    cadence (:attr:`AutoscalePolicy.check_interval_s` — the fleet
+    simulator schedules these as heap events); each call folds the
+    current fleet pressure into the EWMA and possibly acts, returning
+    the :class:`AutoscaleEvent` if it did.
+    """
+
+    def __init__(self, fleet, policy: AutoscalePolicy | None = None,
+                 replica_factory=None):
+        self.fleet = fleet
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        self.replica_factory = replica_factory
+        self.smoothed: float | None = None  # EWMA of fleet pressure
+        self.events: list[AutoscaleEvent] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._cooldown_until = -math.inf
+
+    @property
+    def interval_s(self) -> float:
+        """The observation cadence (policy's ``check_interval_s``)."""
+        return self.policy.check_interval_s
+
+    def observe(self, pressure: float) -> float:
+        """Fold one pressure sample into the EWMA; returns the new level."""
+        alpha = self.policy.smoothing
+        if self.smoothed is None:
+            self.smoothed = float(pressure)
+        else:
+            self.smoothed = (1.0 - alpha) * self.smoothed + alpha * float(pressure)
+        return self.smoothed
+
+    def _pick_drain_target(self) -> int:
+        """The ring replica with the least queued work (cheapest drain)."""
+        ring_ids = self.fleet.ring.replica_ids
+        return min(ring_ids,
+                   key=lambda rid: (self.fleet.handle(rid).service.pending,
+                                    rid))
+
+    def step(self, now: float) -> AutoscaleEvent | None:
+        """One control-loop pass: observe, debounce, maybe scale.
+
+        Returns the :class:`AutoscaleEvent` when a replica was spawned
+        or drained, else ``None``.  Observations inside the cooldown
+        window still update the EWMA but can neither act nor build
+        streaks (the signal is still dominated by the last action).
+        """
+        policy = self.policy
+        pressure = self.observe(self.fleet.pressure)
+        if now < self._cooldown_until:
+            self._up_streak = self._down_streak = 0
+            return None
+        ring_size = len(self.fleet.ring.replica_ids)
+        if pressure >= policy.scale_up_pressure:
+            self._down_streak = 0
+            if ring_size >= policy.max_replicas:
+                self._up_streak = 0
+                return None
+            self._up_streak += 1
+            if self._up_streak < policy.patience:
+                return None
+            if self.replica_factory is None:
+                raise RuntimeError("scale-up signalled but the autoscaler "
+                                   "has no replica_factory")
+            migrated_before = self.fleet.fleet_stats.migrated_sessions
+            replica_id = self.fleet.spawn_replica(self.replica_factory())
+            moved = self.fleet.fleet_stats.migrated_sessions - migrated_before
+            event = AutoscaleEvent(time=now, action=SCALE_UP,
+                                   replica_id=replica_id, pressure=pressure,
+                                   ring_replicas=len(
+                                       self.fleet.ring.replica_ids),
+                                   migrated=moved)
+        elif pressure <= policy.scale_down_pressure:
+            self._up_streak = 0
+            if ring_size <= policy.min_replicas:
+                self._down_streak = 0
+                return None
+            self._down_streak += 1
+            if self._down_streak < policy.patience:
+                return None
+            replica_id = self._pick_drain_target()
+            moved = self.fleet.drain(replica_id)
+            event = AutoscaleEvent(time=now, action=SCALE_DOWN,
+                                   replica_id=replica_id, pressure=pressure,
+                                   ring_replicas=len(
+                                       self.fleet.ring.replica_ids),
+                                   migrated=moved)
+        else:
+            self._up_streak = self._down_streak = 0
+            return None
+        self._up_streak = self._down_streak = 0
+        self._cooldown_until = now + policy.cooldown_s
+        self.events.append(event)
+        return event

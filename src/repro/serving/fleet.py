@@ -154,12 +154,18 @@ class FleetStats:
     lost_submits: int = 0        # submits lost to partition / fenced owner
     failovers: int = 0           # replicas declared DOWN and failed over
     drains: int = 0              # replicas administratively drained
+    spawns: int = 0              # replicas added after construction
     migrated_sessions: int = 0   # sessions re-homed by ring changes
     restored_sessions: int = 0   # migrations that applied a checkpoint
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (for benchmark JSON records)."""
         return dataclasses.asdict(self)
+
+    def publish(self, registry, prefix: str = "fleet") -> None:
+        """Snapshot every counter into ``prefix.field`` gauges on a
+        :class:`~repro.telemetry.MetricsRegistry`."""
+        registry.publish_fields(self, prefix)
 
 
 class HashRing:
@@ -387,10 +393,16 @@ class ServiceFleet:
         #: health transitions as ``(time, replica_id, state name)``, in
         #: order — the per-replica health timeline demos print.
         self.health_log: list[tuple[float, int, str]] = []
+        #: every migration's privacy ledger entry, ``(session_id,
+        #: spent_eps_before, spent_eps_after)`` — the fleet_scale gate
+        #: asserts ``after >= before`` for every row (ε is ratcheted,
+        #: never minted, across spawn/drain/failover migrations).
+        self.migration_epsilon_log: list[tuple[int, float, float]] = []
         self._handles: dict[int, ReplicaHandle] = {}
         self._sessions: dict[int, Session] = {}
         self._homes: dict[int, int] = {}  # session id -> replica id
         self._next_session_id = 1
+        self._next_ckpt_sweep = 0.0  # next due time of the snapshot sweep
         for replica_id, service in enumerate(replicas):
             if not isinstance(service, InferenceService):
                 raise TypeError("replicas must be InferenceService instances")
@@ -404,8 +416,13 @@ class ServiceFleet:
 
     @property
     def num_replicas(self) -> int:
-        """How many replicas the fleet was built with (any health)."""
+        """How many replicas the fleet has ever owned (any health)."""
         return len(self._handles)
+
+    @property
+    def replica_ids(self) -> tuple[int, ...]:
+        """Every replica id the fleet has ever owned, ascending."""
+        return tuple(sorted(self._handles))
 
     @property
     def replicas(self) -> tuple[InferenceService, ...]:
@@ -450,6 +467,19 @@ class ServiceFleet:
         """Fleet-wide service counters: every replica's stats, merged."""
         return sum((h.service.stats for h in self._handles.values()),
                    ServiceStats())
+
+    @property
+    def pressure(self) -> float:
+        """Fleet-wide queue occupancy in [0, 1] over alive replicas.
+
+        The congestion signal the overload cap already keys on, exposed
+        for the autoscaler and admission controller (queued work divided
+        by total queue capacity; fenced/crashed replicas excluded).
+        """
+        active = [h for h in self._handles.values() if h.alive(self.now)]
+        capacity = sum(h.service.config.max_queue for h in active)
+        queued = sum(h.service.pending for h in active)
+        return queued / capacity if capacity else 0.0
 
     # -- sessions --------------------------------------------------------
 
@@ -570,20 +600,23 @@ class ServiceFleet:
             if health is ReplicaHealth.DOWN:
                 self._failover(replica_id, now)
         self._update_overload_cap(now)
-        for session in self._sessions.values():
-            self.checkpoints.maybe_snapshot(session, now)
+        # The snapshot sweep is O(sessions); at fleet scale (10^4+
+        # sessions, one pump per event) running it every pump dominates
+        # the simulator.  Sweep only when the checkpoint interval has
+        # elapsed — maybe_snapshot would decline any sooner anyway
+        # (interval 0 keeps the legacy every-pump behaviour).
+        if now >= self._next_ckpt_sweep:
+            for session in self._sessions.values():
+                self.checkpoints.maybe_snapshot(session, now)
+            self._next_ckpt_sweep = now + self.checkpoints.interval_s
 
     def _update_overload_cap(self, now: float) -> None:
         """Gate each replica's ladder depth on fleet-wide pressure."""
-        active = [h for h in self._handles.values() if h.alive(now)]
-        capacity = sum(h.service.config.max_queue for h in active)
-        queued = sum(h.service.pending for h in active)
-        pressure = queued / capacity if capacity else 0.0
         allow = (LEVEL_SHRINK_ENSEMBLE
-                 if pressure >= self.policy.shrink_pressure
+                 if self.pressure >= self.policy.shrink_pressure
                  else LEVEL_NARROW_CODEC)
-        for handle in active:
-            if handle.service.overload is not None:
+        for handle in self._handles.values():
+            if handle.alive(now) and handle.service.overload is not None:
                 handle.service.overload.max_level = allow
 
     # -- faults / failover ----------------------------------------------
@@ -615,6 +648,67 @@ class ServiceFleet:
         """Crash a replica right now (mid-trace kill convenience)."""
         self.apply_fault(ReplicaFault(replica=replica_id, at_s=self.now,
                                       kind=REPLICA_CRASH))
+
+    def spawn_replica(self, service: InferenceService) -> int:
+        """Add a replica to a running fleet; returns its replica id.
+
+        The new replica joins the ring, starts heartbeating from the
+        current clock and — the half consistent hashing handles for us —
+        *takes over* exactly the sessions whose ring owner it now is
+        (~1/N of them, its arcs).  Those sessions migrate gracefully,
+        exactly like a drain in reverse: the live :class:`Session`
+        object moves (shared fleet-wide, so selector rotation state and
+        the Rényi accountant carry without replay — no epoch bump, no
+        checkpoint restore) and is snapshotted right after the move so
+        the new home fails over from a fresh checkpoint.  Scale-up is
+        therefore useless-work-free: the spawned replica serves existing
+        load immediately instead of waiting for new sessions.
+        """
+        if not isinstance(service, InferenceService):
+            raise TypeError("replicas must be InferenceService instances")
+        replica_id = max(self._handles) + 1
+        handle = ReplicaHandle(replica_id, service)
+        handle.next_heartbeat = self.now  # no back-dated heartbeat burst
+        service.advance_clock(self.now)
+        self._handles[replica_id] = handle
+        self.ring.add(replica_id)
+        self.detector.register(replica_id, self.now)
+        self.health_log.append((self.now, replica_id,
+                                ReplicaHealth.HEALTHY.value))
+        self.fleet_stats.spawns += 1
+        self._rebalance_to(replica_id)
+        return replica_id
+
+    def _rebalance_to(self, replica_id: int) -> int:
+        """Gracefully move the sessions a new replica's arcs now own.
+
+        The inverse of a drain migration: live state moves (ε ledger
+        entry recorded either side of the move), the session registers
+        on the new home, and a checkpoint is snapshotted immediately so
+        failover from the new home never rolls back past the move.
+        """
+        moved = 0
+        for session_id, home in sorted(self._homes.items()):
+            if home == replica_id:
+                continue
+            owner = self.ring.owner(session_id)
+            if owner != replica_id:
+                continue
+            session = self._sessions[session_id]
+            spent_before = (session.privacy.spent
+                            if session.privacy is not None else 0.0)
+            target = self._handles[replica_id].service
+            if session_id not in target._sessions:
+                target.register_session(session)
+            self._homes[session_id] = replica_id
+            self.checkpoints.snapshot(session)
+            spent_after = (session.privacy.spent
+                           if session.privacy is not None else 0.0)
+            self.migration_epsilon_log.append(
+                (session_id, spent_before, spent_after))
+            self.fleet_stats.migrated_sessions += 1
+            moved += 1
+        return moved
 
     def drain(self, replica_id: int) -> int:
         """Administratively drain a replica: out of the ring, still
@@ -650,6 +744,8 @@ class ServiceFleet:
             if home != replica_id:
                 continue
             session = self._sessions[session_id]
+            spent_before = (session.privacy.spent
+                            if session.privacy is not None else 0.0)
             if restore and session_id in self.checkpoints:
                 self.checkpoints.load(session_id).apply(session)
                 self.fleet_stats.restored_sessions += 1
@@ -663,6 +759,10 @@ class ServiceFleet:
             if session_id not in target._sessions:
                 target.register_session(session)
             self._homes[session_id] = owner
+            spent_after = (session.privacy.spent
+                           if session.privacy is not None else 0.0)
+            self.migration_epsilon_log.append(
+                (session_id, spent_before, spent_after))
             self.fleet_stats.migrated_sessions += 1
             moved += 1
         return moved

@@ -290,6 +290,16 @@ class WeightedFairScheduler(Scheduler):
     forever.  A session's deficit resets when its queue drains — credit
     cannot be banked while idle — and is otherwise bounded by one visit
     accrual plus one request, never growing without bound.
+
+    **Hierarchical rate classes** (:meth:`set_rate_class`) add one level
+    of nesting: sessions assigned to a named class share that class's
+    weight, split among the class's *backlogged* members in proportion
+    to their intra-class session weights.  The class's aggregate share
+    versus other classes (and versus unclassed sessions) therefore stays
+    fixed no matter how many of its members are active — a tenant
+    organisation buys one share and subdivides it internally, rather
+    than each sub-tenant buying fleet-wide weight.  Intra-class weight 0
+    still means best-effort, exactly as for unclassed sessions.
     """
 
     name = "weighted"
@@ -302,6 +312,8 @@ class WeightedFairScheduler(Scheduler):
         self._rotation: collections.deque[int] = collections.deque()
         self._weights: dict[int, float] = {}
         self._deficits: dict[int, float] = {}
+        self._classes: dict[int, str] = {}        # session -> rate class
+        self._class_weights: dict[str, float] = {}  # class -> shared weight
         # Session whose DRR visit was interrupted by a full group: it
         # resumes at the rotation front next tick without a fresh accrual.
         self._open_visit: int | None = None
@@ -321,6 +333,54 @@ class WeightedFairScheduler(Scheduler):
     def weight_of(self, session_id: int) -> float:
         """The session's negotiated weight (1.0 when never negotiated)."""
         return self._weights.get(session_id, 1.0)
+
+    def set_rate_class(self, session_id: int, rate_class: str,
+                       class_weight: float | None = None) -> None:
+        """Place a session in a named rate class (shared class weight).
+
+        Class members split ``class_weight`` by their intra-class
+        session weights (:meth:`set_session_weight`), so the class's
+        aggregate share against other tenants is fixed regardless of how
+        many members are backlogged.  Passing ``class_weight`` sets (or
+        resets) the class's weight — required the first time a class is
+        named, optional afterwards; it must be positive.
+        """
+        if class_weight is not None:
+            class_weight = float(class_weight)
+            if not math.isfinite(class_weight) or class_weight <= 0:
+                raise ValueError(
+                    f"class_weight must be finite and > 0, got {class_weight}")
+            self._class_weights[rate_class] = class_weight
+        elif rate_class not in self._class_weights:
+            raise ValueError(
+                f"rate class {rate_class!r} has no weight yet; pass "
+                f"class_weight on first use")
+        self._classes[session_id] = rate_class
+
+    def rate_class_of(self, session_id: int) -> str | None:
+        """The session's rate class, or ``None`` if unclassed."""
+        return self._classes.get(session_id)
+
+    def _effective_weight(self, session_id: int) -> float:
+        """The DRR accrual weight: the session's own weight, or — inside
+        a rate class — its backlog-weighted slice of the class weight.
+
+        Only *backlogged* positive-weight members divide the class
+        weight, so an idle member's slice flows to its classmates (the
+        class share stays whole) instead of leaking to other tenants.
+        """
+        weight = self.weight_of(session_id)
+        rate_class = self._classes.get(session_id)
+        if rate_class is None or weight <= 0:
+            return weight
+        active = sum(
+            self.weight_of(sid)
+            for sid, cls in self._classes.items()
+            if cls == rate_class and self._queues.get(sid)
+            and self.weight_of(sid) > 0)
+        if active <= 0:  # sole classed arrival racing the backlog scan
+            return self._class_weights[rate_class]
+        return self._class_weights[rate_class] * weight / active
 
     def enqueue(self, request: UploadRequest) -> None:
         """Append to the tenant's FIFO queue (registering it if new)."""
@@ -351,7 +411,7 @@ class WeightedFairScheduler(Scheduler):
             return not contended or self.weight_of(session_id) > 0
 
         def eff_weight(session_id: int) -> float:
-            weight = self.weight_of(session_id)
+            weight = self._effective_weight(session_id)
             return weight if contended else max(weight, 1.0)
 
         if not any(eligible(session_id) for session_id in self._rotation):
@@ -418,6 +478,7 @@ class WeightedFairScheduler(Scheduler):
             pass
         self._weights.pop(session_id, None)
         self._deficits.pop(session_id, None)
+        self._classes.pop(session_id, None)
         if self._open_visit == session_id:
             self._open_visit = None
         return list(queue) if queue is not None else []

@@ -101,13 +101,21 @@ class RateLimit:
     """Token-bucket parameters for one tenant's admission rate.
 
     ``rate_per_s`` tokens accrue per virtual-clock second up to ``burst``
-    capacity; each submitted request spends one token.  A tenant can
-    therefore burst ``burst`` requests instantly but sustains at most
-    ``rate_per_s`` requests/second.
+    capacity.  In the default **request-cost** mode each submitted
+    request spends one token, so a tenant can burst ``burst`` requests
+    instantly but sustains at most ``rate_per_s`` requests/second.  With
+    ``per_sample=True`` the bucket charges **sample cost** instead: a
+    request spends ``batch_size`` tokens, so a fat multi-sample upload
+    pays proportionally to the server work it buys rather than riding
+    the flat per-request price — the fair currency once payloads stop
+    being single images.  A per-sample bucket's ``burst`` must cover the
+    largest batch a tenant may submit; a request whose batch exceeds
+    ``burst`` can never be admitted and is always throttled.
     """
 
     rate_per_s: float
     burst: float = 1.0
+    per_sample: bool = False
 
     def __post_init__(self):
         if not self.rate_per_s > 0:
@@ -116,6 +124,11 @@ class RateLimit:
             raise ValueError("burst must be >= 1 (a bucket must admit at "
                              "least one request)")
 
+    def cost_of(self, request) -> float:
+        """Tokens one upload spends: its batch size in per-sample mode,
+        one in the back-compat request-cost mode."""
+        return float(request.batch_size) if self.per_sample else 1.0
+
     @classmethod
     def parse(cls, value: "RateLimit | tuple | float | None"
               ) -> "RateLimit | None":
@@ -123,7 +136,8 @@ class RateLimit:
 
         Args:
             value: ``None`` (unlimited), a :class:`RateLimit`, a bare rate
-                in requests/second, or a ``(rate_per_s, burst)`` tuple.
+                in requests/second, or a ``(rate_per_s, burst)`` /
+                ``(rate_per_s, burst, per_sample)`` tuple.
 
         Returns:
             The parsed limit, or ``None`` for the unlimited spec.
@@ -302,6 +316,11 @@ class ServiceStats:
                 setattr(self, field.name, mine + theirs)
         return self
 
+    def publish(self, registry, prefix: str = "service") -> None:
+        """Snapshot every stat field into ``prefix.field`` gauges on a
+        :class:`~repro.telemetry.MetricsRegistry`."""
+        registry.publish_fields(self, prefix)
+
     def __add__(self, other: "ServiceStats") -> "ServiceStats":
         """Combined counters of two stat blocks (neither is mutated)."""
         if not isinstance(other, ServiceStats):
@@ -391,6 +410,18 @@ class InferenceService:
     def pending(self) -> int:
         """Queued requests not yet served."""
         return self.scheduler.pending
+
+    @property
+    def pressure(self) -> float:
+        """Queue occupancy in [0, 1]: pending / max_queue.
+
+        The raw congestion signal the autoscaler and admission
+        controller smooth and threshold (see
+        :mod:`repro.serving.autoscale`).
+        """
+        if self.config.max_queue <= 0:
+            return 0.0
+        return min(1.0, self.scheduler.pending / self.config.max_queue)
 
     def open_session(self, head, tail, *, selector=None, noise=None,
                      noise_seed: int | None = None,
@@ -581,14 +612,16 @@ class InferenceService:
                 f"and the service is overloaded "
                 f"({self.overload.level_name}); retry when pressure clears")
         limiter = session.limiter
-        if limiter is not None and limiter.available(self.now) + 1e-9 < 1.0:
+        cost = limiter.limit.cost_of(request) if limiter is not None else 1.0
+        if limiter is not None and limiter.available(self.now) + 1e-9 < cost:
             self.stats.throttled_requests += 1
             session._resolve(request.request_id, RequestState.THROTTLED)
+            unit = "samples" if limiter.limit.per_sample else "req"
             raise RateLimitedError(
                 f"session {session.session_id} exceeded its rate limit "
-                f"({limiter.limit.rate_per_s:g} req/s, burst "
-                f"{limiter.limit.burst:g}); retry in "
-                f"{limiter.seconds_until():.3f}s")
+                f"({limiter.limit.rate_per_s:g} {unit}/s, burst "
+                f"{limiter.limit.burst:g}, cost {cost:g}); retry in "
+                f"{limiter.seconds_until(cost):.3f}s")
         if self.scheduler.pending >= self.config.max_queue:
             self.stats.rejected_requests += 1
             session._resolve(request.request_id, RequestState.REJECTED)
@@ -596,7 +629,7 @@ class InferenceService:
                 f"service queue full ({self.config.max_queue} pending); "
                 f"retry after a tick")
         if limiter is not None:
-            limiter.try_acquire(self.now)  # refilled above: always succeeds
+            limiter.try_acquire(self.now, cost)  # refilled above: succeeds
         if request.arrival_time is None:
             request.arrival_time = self.now
         session.channel.send_up(request)

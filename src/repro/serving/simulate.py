@@ -64,6 +64,12 @@ from repro.serving.errors import (
 from repro.serving.faults import FaultInjector, RetryPolicy
 from repro.serving.service import InferenceService
 from repro.serving.session import Session
+from repro.telemetry import QuantileSketch
+
+#: Per-session latency sketches are deliberately small: a tenant's own
+#: p50/p95 needs far less resolution than the aggregate distribution,
+#: and at 10^5+ sessions the per-session footprint is the bill.
+_SESSION_SKETCH_CAPACITY = 64
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,6 +141,16 @@ class SimulationReport:
     (weighted fair scheduling, per-tenant rate limits) are measurable at
     per-tenant p50/p95 via :meth:`session_percentile`.
 
+    At fleet scale the exact per-request lists are the memory bill, so
+    they are **opt-in** (``retain_latencies=`` on the simulators): every
+    replay always feeds ``latency_sketch`` (aggregate) and
+    ``sketch_by_session`` (small per-tenant
+    :class:`~repro.telemetry.QuantileSketch` summaries, O(sessions · k)
+    total), and :meth:`percentile` / :meth:`session_percentile` fall
+    back to the sketches when the exact lists were not retained.
+    ``served_total`` counts served responses independently of the lists
+    for the same reason.
+
     The resilience fields close the loop on fault tolerance:
     ``submitted`` counts the unique requests the trace produced,
     ``terminal_counts`` maps each terminal
@@ -165,11 +181,21 @@ class SimulationReport:
     privacy_refusals: int = 0  # submits/serves refused past budget exhaustion
     exhausted_sessions: int = 0  # sessions that spent their privacy budget
     rotations: int = 0      # switching-ensemble selector re-draws
+    served_total: int = 0   # served responses (independent of exact lists)
+    latency_sum_s: float = 0.0  # sum of served latencies (mean at any scale)
+    latency_sketch: QuantileSketch | None = None  # aggregate, always fed
+    sketch_by_session: dict[int, QuantileSketch] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def served(self) -> int:
         """How many submissions were actually served (not shed)."""
-        return len(self.latencies_s)
+        return self.served_total if self.served_total else len(self.latencies_s)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean served latency in seconds (0.0 when nothing served)."""
+        return self.latency_sum_s / self.served if self.served else 0.0
 
     @property
     def goodput_rps(self) -> float:
@@ -182,22 +208,35 @@ class SimulationReport:
         return self.served / self.makespan_s if self.makespan_s > 0 else 0.0
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile of the aggregate latency distribution."""
-        if not self.latencies_s:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies_s), q))
+        """The q-th percentile of the aggregate latency distribution.
+
+        Exact (``np.percentile``) when the per-request list was
+        retained; otherwise answered from ``latency_sketch`` (≤ 1% of
+        rank error); 0.0 when nothing was served.
+        """
+        if self.latencies_s:
+            return float(np.percentile(np.asarray(self.latencies_s), q))
+        if self.latency_sketch is not None and len(self.latency_sketch):
+            return self.latency_sketch.percentile(q)
+        return 0.0
 
     def session_percentile(self, session_id: int, q: float) -> float:
         """One tenant's q-th latency percentile (0.0 if it served nothing).
+
+        Exact when per-session lists were retained, else answered from
+        the tenant's sketch.
 
         Args:
             session_id: the tenant's session id (``Session.session_id``).
             q: percentile in [0, 100], e.g. 50 or 95.
         """
         latencies = self.latencies_by_session.get(session_id)
-        if not latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(latencies), q))
+        if latencies:
+            return float(np.percentile(np.asarray(latencies), q))
+        sketch = self.sketch_by_session.get(session_id)
+        if sketch is not None and len(sketch):
+            return sketch.percentile(q)
+        return 0.0
 
     @property
     def p50_s(self) -> float:
@@ -246,13 +285,48 @@ class _Pending:
     done: bool = False   # a response reached the client
 
 
-_ARRIVAL, _SUBMIT, _TIMEOUT, _FAULT = 0, 1, 2, 3  # event kinds, tie-break order
+#: Event kinds, tie-break order.  _SCALE is the autoscaler's periodic
+#: control-loop check in :func:`simulate_fleet`.
+_ARRIVAL, _SUBMIT, _TIMEOUT, _FAULT, _SCALE = 0, 1, 2, 3, 4
+
+
+def _prepare_trace(trace, retain_latencies):
+    """Resolve a trace into a lazy arrival iterator plus the retain flag.
+
+    List/tuple traces are sorted eagerly (back-compat: arbitrary order
+    allowed) and default to exact latency retention; any other iterable
+    streams lazily — arrivals must then already be time-monotonic — and
+    defaults to sketch-only reporting, since a streaming trace is
+    exactly the fleet-scale case the exact lists would sink.
+    """
+    if isinstance(trace, (list, tuple)):
+        arrivals = iter(sorted(trace, key=lambda a: a.time))
+        retain = True if retain_latencies is None else bool(retain_latencies)
+    else:
+        arrivals = iter(trace)
+        retain = False if retain_latencies is None else bool(retain_latencies)
+    return arrivals, retain
+
+
+def _publish_metrics(metrics, prefix, tracked_count, served_total,
+                     violations, retry_attempts, sketch, latency_sum):
+    """Publish one replay's aggregates into a MetricsRegistry."""
+    metrics.counter(f"{prefix}.submitted").inc(tracked_count)
+    metrics.counter(f"{prefix}.served").inc(served_total)
+    metrics.counter(f"{prefix}.violations").inc(violations)
+    metrics.counter(f"{prefix}.retries").inc(retry_attempts)
+    histogram = metrics.histogram(f"{prefix}.latency_s",
+                                  capacity=sketch.capacity)
+    histogram.sketch.merge(sketch)
+    histogram.sum += latency_sum
 
 
 def simulate(service: InferenceService, sessions, trace, cost: TickCost,
              default_features: np.ndarray | None = None,
              retry: RetryPolicy | None = None,
-             faults: FaultInjector | None = None) -> SimulationReport:
+             faults: FaultInjector | None = None,
+             retain_latencies: bool | None = None,
+             metrics=None) -> SimulationReport:
     """Replay ``trace`` through ``service`` on a virtual clock.
 
     ``sessions`` is an indexable of open :class:`Session` objects
@@ -261,6 +335,17 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     really runs the stacked pass; only *time* is virtual, charged from
     ``cost``.  Responses are consumed as they complete so long traces
     stay memory-bounded.
+
+    ``trace`` may be a list/tuple (sorted eagerly, any order — the
+    historical contract) or any iterable/generator of
+    :class:`Arrival` objects in non-decreasing time order, which is
+    consumed **lazily**: a 10^6-arrival stream never materialises.
+    ``retain_latencies`` controls the exact per-request latency lists on
+    the report (``None`` = retain for list traces, sketch-only for
+    streamed ones); the mergeable quantile sketches are always fed.
+    ``metrics``, when given, receives the replay's aggregate counters
+    and latency histogram (see :class:`~repro.telemetry.MetricsRegistry`)
+    plus the service's stat fields as gauges.
 
     Trace times are *relative*: they are rebased onto the service's
     current (monotonic, never-rewinding) clock, so repeated ``simulate``
@@ -278,8 +363,13 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
     """
     faults = faults if faults is not None else service.faults
     session_by_id = {s.session_id: s for s in sessions}
+    arrivals, retain = _prepare_trace(trace, retain_latencies)
     latencies: list[float] = []
     by_session: dict[int, list[float]] = {}
+    sketch = QuantileSketch()
+    by_sketch: dict[int, QuantileSketch] = {}
+    served_total = 0
+    latency_sum = 0.0
     tracked: list[_Pending] = []
     by_key: dict[tuple[int, int], _Pending] = {}
     violations = ticks = retry_attempts = 0
@@ -295,9 +385,19 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
 
     seq = itertools.count()
     heap: list[tuple[float, int, int, object]] = []
-    for arrival in sorted(trace, key=lambda a: a.time):
-        heapq.heappush(heap, (base + arrival.time, next(seq), _ARRIVAL,
-                              arrival))
+    next_arrival = next(arrivals, None)
+
+    def pull_arrival() -> Arrival:
+        """Consume the head arrival, enforcing stream monotonicity."""
+        nonlocal next_arrival
+        arrival = next_arrival
+        next_arrival = next(arrivals, None)
+        if next_arrival is not None and next_arrival.time < arrival.time:
+            raise ValueError(
+                "streaming traces must yield non-decreasing arrival times "
+                f"(got {next_arrival.time} after {arrival.time}); "
+                "materialise as a list to have the simulator sort")
+        return arrival
 
     def push(at: float, kind: int, payload) -> None:
         heapq.heappush(heap, (at, next(seq), kind, payload))
@@ -322,8 +422,11 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
         if retry is not None and retry.timeout_s is not None:
             push(clock + retry.timeout_s, _TIMEOUT, pend)
 
-    while heap or service.pending:
-        next_event = heap[0][0] if heap else math.inf
+    while heap or next_arrival is not None or service.pending:
+        arrival_at = (base + next_arrival.time if next_arrival is not None
+                      else math.inf)
+        heap_at = heap[0][0] if heap else math.inf
+        next_event = min(arrival_at, heap_at)
         if service.pending:
             earliest = max(clock, server_free_at)
             tick_at = max(earliest, service.scheduler.next_event_time(earliest))
@@ -331,11 +434,10 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
             tick_at = math.inf
 
         if next_event <= tick_at:
-            at, _, kind, payload = heapq.heappop(heap)
-            clock = max(clock, at)
-            service.advance_clock(clock)
-            if kind == _ARRIVAL:
-                arrival = payload
+            if arrival_at <= heap_at:  # arrivals win ties (trace order)
+                arrival = pull_arrival()
+                clock = max(clock, arrival_at)
+                service.advance_clock(clock)
                 session = sessions[arrival.session_index]
                 if arrival.close_session:
                     service.close_session(session)
@@ -361,7 +463,11 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                     push(clock + delay, _SUBMIT, pend)
                 else:
                     attempt(pend)
-            elif kind == _SUBMIT:
+                continue
+            at, _, kind, payload = heapq.heappop(heap)
+            clock = max(clock, at)
+            service.advance_clock(clock)
+            if kind == _SUBMIT:
                 if not payload.done:
                     attempt(payload)
             else:  # _TIMEOUT: loss detection for silently dropped frames
@@ -401,13 +507,21 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
             done = pass_done + cost.per_request_downlink_s
             makespan = max(makespan, done)
             key = (response.session_id, response.request_id)
-            pend = by_key.get(key)
+            pend = by_key.pop(key, None)
             arrived, deadline = ((pend.arrived, pend.deadline) if pend
                                  else (clock, None))
             if pend is not None:
                 pend.done = True
-            latencies.append(done - arrived)
-            by_session.setdefault(response.session_id, []).append(done - arrived)
+            latency = done - arrived
+            served_total += 1
+            latency_sum += latency
+            sketch.add(latency)
+            by_sketch.setdefault(
+                response.session_id,
+                QuantileSketch(_SESSION_SKETCH_CAPACITY)).add(latency)
+            if retain:
+                latencies.append(latency)
+                by_session.setdefault(response.session_id, []).append(latency)
             if deadline is not None and done > deadline:
                 violations += 1
             session = session_by_id.get(response.session_id)
@@ -427,6 +541,11 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
         terminal_counts[state.value] += 1
     conservation_ok = sum(terminal_counts.values()) == len(tracked)
 
+    if metrics is not None:
+        _publish_metrics(metrics, "sim", len(tracked), served_total,
+                         violations, retry_attempts, sketch, latency_sum)
+        service.stats.publish(metrics, "service")
+
     return SimulationReport(scheduler=service.config.scheduler,
                             latencies_s=latencies, violations=violations,
                             rejected=terminal_counts[RequestState.REJECTED.value],
@@ -437,6 +556,10 @@ def simulate(service: InferenceService, sessions, trace, cost: TickCost,
                             submitted=len(tracked),
                             terminal_counts=terminal_counts,
                             conservation_ok=conservation_ok,
+                            served_total=served_total,
+                            latency_sum_s=latency_sum,
+                            latency_sketch=sketch,
+                            sketch_by_session=by_sketch,
                             tick_failures=(service.stats.tick_failures
                                            - failures_start),
                             retries=retry_attempts,
@@ -480,6 +603,30 @@ class FleetSimulationReport(SimulationReport):
         default_factory=list)
     ticks_by_replica: dict[int, int] = dataclasses.field(default_factory=dict)
     completion_times_s: list[float] = dataclasses.field(default_factory=list)
+    #: sessions turned away / downgraded to best-effort at the door by
+    #: the admission controller (whole sessions, not requests).
+    admission_rejected: int = 0
+    admission_downgraded: int = 0
+    #: arrivals dropped because their session was rejected at the door
+    #: (never submitted, so they are outside the conservation sweep).
+    arrivals_rejected: int = 0
+    #: autoscaler actions as ``(trace_time, action, replica_id,
+    #: pressure)`` rows; ``spawns``/``drains_scaled`` are their counts.
+    autoscale_log: list[tuple[float, str, int, float]] = dataclasses.field(
+        default_factory=list)
+    spawns: int = 0
+    drains_scaled: int = 0
+    replicas_final: int = 0  # replicas on the ring when the replay ended
+    #: ``(session_id, spent_eps_before, spent_eps_after)`` for every
+    #: migration during the replay — the ε-ratchet evidence.
+    migration_epsilon_log: list[tuple[int, float, float]] = dataclasses.field(
+        default_factory=list)
+
+    @property
+    def epsilon_ratchet_ok(self) -> bool:
+        """True when no migration ever *decreased* spent ε (never minted)."""
+        return all(after >= before - 1e-12
+                   for _, before, after in self.migration_epsilon_log)
 
     def goodput_between(self, start_s: float, end_s: float) -> float:
         """Completed requests per second inside ``[start_s, end_s)``.
@@ -497,8 +644,11 @@ class FleetSimulationReport(SimulationReport):
 def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                    default_features: np.ndarray | None = None,
                    retry: RetryPolicy | None = None,
-                   faults: FaultInjector | None = None
-                   ) -> FleetSimulationReport:
+                   faults: FaultInjector | None = None,
+                   retain_latencies: bool | None = None,
+                   metrics=None,
+                   autoscaler=None,
+                   admission=None) -> FleetSimulationReport:
     """Replay ``trace`` through a :class:`~repro.serving.fleet.ServiceFleet`.
 
     The :func:`simulate` event loop, promoted to fleet scope: each
@@ -518,15 +668,37 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
     fleet-wide: every traced submission must end in exactly one
     terminal state *across failover*, and ``duplicate_serves`` proves
     no request was served twice.
+
+    ``trace`` streams lazily exactly as in :func:`simulate` (see
+    ``retain_latencies`` / ``metrics`` there).  An ``autoscaler``
+    (:class:`~repro.serving.autoscale.Autoscaler` over this fleet) adds
+    periodic control-loop events to the heap — its spawns and drains
+    happen mid-replay, replicas appearing and disappearing under live
+    traffic, and every migration's spent-ε ledger lands in
+    ``migration_epsilon_log``.  An ``admission`` controller
+    (:class:`~repro.serving.traffic.AdmissionController`) is consulted
+    once per session at that session's **first** arrival: rejected
+    sessions have all their arrivals dropped at the door (never
+    submitted — no queue slot, no conservation entry, counted in
+    ``arrivals_rejected``); downgraded sessions are re-weighted to 0
+    (best-effort) before their first submit.
     """
     faults = faults if faults is not None else fleet.faults
     session_by_id = {s.session_id: s for s in sessions}
+    arrivals, retain = _prepare_trace(trace, retain_latencies)
     latencies: list[float] = []
     completions: list[float] = []
     by_session: dict[int, list[float]] = {}
+    sketch = QuantileSketch()
+    by_sketch: dict[int, QuantileSketch] = {}
+    served_total = 0
+    latency_sum = 0.0
     tracked: list[_Pending] = []
     by_key: dict[tuple[int, int], _Pending] = {}
     ticks_by_replica: dict[int, int] = {}
+    admission_decisions: dict[int, str] = {}  # session id -> outcome
+    arrivals_rejected = 0
+    scale_log: list[tuple[float, str, int, float]] = []
     violations = ticks = retry_attempts = duplicates = 0
     failures_start = fleet.stats.tick_failures
     degraded_start = fleet.stats.degraded_responses
@@ -537,20 +709,37 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
     failovers_start = fleet.fleet_stats.failovers
     lost_start = fleet.fleet_stats.lost_submits
     health_mark = len(fleet.health_log)
+    epsilon_mark = len(fleet.migration_epsilon_log)
     base = fleet.now
-    free_at = {rid: base for rid in range(fleet.num_replicas)}
+    # Spawned replicas are absent here; next_tick defaults them to base
+    # (free the moment they join).
+    free_at = {rid: base for rid in fleet.replica_ids}
     makespan = base
     clock = base
 
     seq = itertools.count()
     heap: list[tuple[float, int, int, object]] = []
-    for arrival in sorted(trace, key=lambda a: a.time):
-        heapq.heappush(heap, (base + arrival.time, next(seq), _ARRIVAL,
-                              arrival))
+    next_arrival = next(arrivals, None)
+
+    def pull_arrival() -> Arrival:
+        """Consume the head arrival, enforcing stream monotonicity."""
+        nonlocal next_arrival
+        arrival = next_arrival
+        next_arrival = next(arrivals, None)
+        if next_arrival is not None and next_arrival.time < arrival.time:
+            raise ValueError(
+                "streaming traces must yield non-decreasing arrival times "
+                f"(got {next_arrival.time} after {arrival.time}); "
+                "materialise as a list to have the simulator sort")
+        return arrival
+
     if faults is not None:
         for fault in faults.plan.replica_faults:
             heapq.heappush(heap, (base + fault.at_s, next(seq), _FAULT,
                                   fault))
+    if autoscaler is not None:
+        heapq.heappush(heap, (base + autoscaler.interval_s, next(seq),
+                              _SCALE, None))
 
     def push(at: float, kind: int, payload) -> None:
         heapq.heappush(heap, (at, next(seq), kind, payload))
@@ -575,13 +764,18 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
             push(clock + retry.timeout_s, _TIMEOUT, pend)
 
     def next_tick() -> tuple[float, object | None]:
-        """Earliest (time, handle) a replica could tick, or (inf, None)."""
+        """Earliest (time, handle) a replica could tick, or (inf, None).
+
+        Iterates the fleet's *current* replica ids, so replicas the
+        autoscaler spawned mid-replay tick too (free the moment they
+        joined — no ``free_at`` entry yet means never busy).
+        """
         best_at, best = math.inf, None
-        for rid in sorted(free_at):
+        for rid in fleet.replica_ids:
             handle = fleet.handle(rid)
             if not handle.alive(clock) or not handle.service.pending:
                 continue
-            at = max(clock, free_at[rid])
+            at = max(clock, free_at.get(rid, base))
             # A hung/partitioned replica wakes when its windows clear
             # (iterate: waking from one window can land inside the other).
             while True:
@@ -599,10 +793,14 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
         return best_at, best
 
     while True:
-        next_event = heap[0][0] if heap else math.inf
+        arrival_at = (base + next_arrival.time if next_arrival is not None
+                      else math.inf)
+        heap_at = heap[0][0] if heap else math.inf
+        next_event = min(arrival_at, heap_at)
         tick_at, tick_handle = next_tick()
         heartbeat_at = (fleet.next_heartbeat_time()
-                        if (heap or tick_handle is not None) else math.inf)
+                        if (heap or next_arrival is not None
+                            or tick_handle is not None) else math.inf)
         soonest = min(next_event, tick_at, heartbeat_at)
         if math.isinf(soonest):
             break
@@ -613,15 +811,30 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
             continue
 
         if next_event <= tick_at:
-            at, _, kind, payload = heapq.heappop(heap)
-            clock = max(clock, at)
-            fleet.advance_clock(clock)
-            if kind == _ARRIVAL:
-                arrival = payload
+            if arrival_at <= heap_at:  # arrivals win ties (trace order)
+                arrival = pull_arrival()
+                clock = max(clock, arrival_at)
+                fleet.advance_clock(clock)
                 session = sessions[arrival.session_index]
                 if arrival.close_session:
                     fleet.close_session(session)
                     continue
+                if admission is not None:
+                    decision = admission_decisions.get(session.session_id)
+                    if decision is None:  # the session's first arrival
+                        decision = admission.decide(fleet.pressure)
+                        admission_decisions[session.session_id] = decision
+                        if decision == "downgrade":
+                            # Best-effort from here on: weight 0 at the
+                            # home replica's scheduler (no-op for
+                            # weight-blind schedulers).
+                            session.weight = 0.0
+                            home = fleet.home_of(session.session_id)
+                            fleet.handle(home).service.scheduler \
+                                .set_session_weight(session.session_id, 0.0)
+                    if decision == "reject":
+                        arrivals_rejected += 1
+                        continue  # dropped at the door: nothing submitted
                 features = (arrival.features if arrival.features is not None
                             else default_features)
                 if features is None:
@@ -643,7 +856,11 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                     push(clock + delay, _SUBMIT, pend)
                 else:
                     attempt(pend)
-            elif kind == _SUBMIT:
+                continue
+            at, _, kind, payload = heapq.heappop(heap)
+            clock = max(clock, at)
+            fleet.advance_clock(clock)
+            if kind == _SUBMIT:
                 if not payload.done:
                     attempt(payload)
             elif kind == _TIMEOUT:
@@ -653,6 +870,15 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                         and pend.session.request_state(pend.request_id)
                         is RequestState.QUEUED):
                     attempt(pend)  # re-arms its own timeout on success
+            elif kind == _SCALE:  # the autoscaler's periodic check
+                event = autoscaler.step(clock)
+                if event is not None:
+                    scale_log.append((event.time - base, event.action,
+                                      event.replica_id, event.pressure))
+                # Keep checking while traffic can still arrive or drain;
+                # a finished, idle replay lets the loop wind down.
+                if next_arrival is not None or heap or fleet.pending:
+                    push(clock + autoscaler.interval_s, _SCALE, None)
             else:  # _FAULT: the replica-level schedule strikes
                 fault = payload
                 fleet.apply_fault(dataclasses.replace(fault,
@@ -707,9 +933,17 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                         session.take_response(response.request_id)
                     continue
                 pend.done = True
-            latencies.append(done - arrived)
-            completions.append(done - base)
-            by_session.setdefault(response.session_id, []).append(done - arrived)
+            latency = done - arrived
+            served_total += 1
+            latency_sum += latency
+            sketch.add(latency)
+            by_sketch.setdefault(
+                response.session_id,
+                QuantileSketch(_SESSION_SKETCH_CAPACITY)).add(latency)
+            if retain:
+                latencies.append(latency)
+                completions.append(done - base)
+                by_session.setdefault(response.session_id, []).append(latency)
             if deadline is not None and done > deadline:
                 violations += 1
             session = session_by_id.get(response.session_id)
@@ -731,6 +965,17 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
                        and duplicates == 0)
 
     stats = fleet.stats
+    if metrics is not None:
+        _publish_metrics(metrics, "sim", len(tracked), served_total,
+                         violations, retry_attempts, sketch, latency_sum)
+        stats.publish(metrics, "service")
+        fleet.fleet_stats.publish(metrics, "fleet")
+        metrics.gauge("fleet.ring_replicas").set(
+            len(fleet.ring.replica_ids))
+    admission_counts = {"downgrade": 0, "reject": 0}
+    for decision in admission_decisions.values():
+        if decision in admission_counts:
+            admission_counts[decision] += 1
     return FleetSimulationReport(
         scheduler=fleet.replicas[0].config.scheduler,
         latencies_s=latencies, violations=violations,
@@ -739,6 +984,10 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
         throttled=terminal_counts[RequestState.THROTTLED.value],
         latencies_by_session=by_session, submitted=len(tracked),
         terminal_counts=terminal_counts, conservation_ok=conservation_ok,
+        served_total=served_total,
+        latency_sum_s=latency_sum,
+        latency_sketch=sketch,
+        sketch_by_session=by_sketch,
         tick_failures=stats.tick_failures - failures_start,
         retries=retry_attempts,
         degraded=stats.degraded_responses - degraded_start,
@@ -754,7 +1003,17 @@ def simulate_fleet(fleet, sessions, trace, cost: TickCost,
         health_log=[(t - base, rid, state)
                     for t, rid, state in fleet.health_log[health_mark:]],
         ticks_by_replica=ticks_by_replica,
-        completion_times_s=completions)
+        completion_times_s=completions,
+        admission_rejected=admission_counts["reject"],
+        admission_downgraded=admission_counts["downgrade"],
+        arrivals_rejected=arrivals_rejected,
+        autoscale_log=scale_log,
+        spawns=sum(1 for _, action, _, _ in scale_log if action == "spawn"),
+        drains_scaled=sum(1 for _, action, _, _ in scale_log
+                          if action == "drain"),
+        replicas_final=len(fleet.ring.replica_ids),
+        migration_epsilon_log=list(
+            fleet.migration_epsilon_log[epsilon_mark:]))
 
 
 # -- trace generators ----------------------------------------------------

@@ -1,0 +1,203 @@
+"""A lightweight metrics plane: counters, gauges and sketch histograms.
+
+The serving tier accumulates its own typed counters
+(:class:`~repro.serving.service.ServiceStats`,
+:class:`~repro.serving.fleet.FleetStats`), but those are *schemas* —
+adding a measurement means adding a dataclass field.  The
+:class:`MetricsRegistry` is the open-ended complement: any component
+(the simulators, the autoscaler, the admission controller, ad-hoc
+experiments) can publish named counters, gauges and latency histograms
+without touching a schema, and registries merge across replicas exactly
+like the stats plane does (counters sum, gauges take the max — they are
+levels, mirroring ``_LEVEL_STATS`` — histograms merge their sketches).
+
+Publishing is explicit and cheap: ``registry.counter("sim.arrivals")``
+gets-or-creates, so hot paths hold the instrument and pay one attribute
+bump per event.  ``ServiceStats.publish`` / ``FleetStats.publish``
+snapshot their dataclass fields into gauges under a prefix, which is how
+the typed stats plane surfaces in the same namespace as the free-form
+one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.sketch import QuantileSketch
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (merges by summing)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters only go up)."""
+        amount = float(amount)
+        if not amount >= 0.0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+class Gauge:
+    """A point-in-time level (merges by max, like ``_LEVEL_STATS``)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the current level."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"gauge values must be finite, got {value!r}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value:g})"
+
+
+class Histogram:
+    """A latency/size distribution backed by a :class:`QuantileSketch`."""
+
+    def __init__(self, name: str, capacity: int = 1024):
+        self.name = name
+        self.sketch = QuantileSketch(capacity)
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Observations recorded so far."""
+        return self.sketch.count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the sketch."""
+        self.sketch.add(value)
+        self.sum += float(value)
+
+    def percentile(self, p: float) -> float:
+        """The estimated ``p``-th percentile (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.sketch.percentile(p)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's sketch and sum into this one."""
+        self.sketch.merge(other.sketch)
+        self.sum += other.sum
+        return self
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, mergeable across replicas.
+
+    One flat namespace: a name registered as one instrument kind cannot
+    be re-registered as another (typo protection — a counter silently
+    shadowed by a gauge is the classic metrics-plane bug).
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{other_kind}, cannot re-register as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, "counter")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, capacity: int = 1024) -> Histogram:
+        """Get or create the named histogram (``capacity`` first use only)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, "histogram")
+            instrument = self._histograms[name] = Histogram(name, capacity)
+        return instrument
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every registered instrument name, sorted."""
+        return tuple(sorted([*self._counters, *self._gauges,
+                             *self._histograms]))
+
+    def publish_fields(self, stats, prefix: str) -> None:
+        """Snapshot a stats dataclass's fields into ``prefix.field`` gauges.
+
+        Works for any dataclass of numeric fields
+        (:class:`~repro.serving.service.ServiceStats`,
+        :class:`~repro.serving.fleet.FleetStats`, ...); non-numeric
+        fields are skipped.
+        """
+        import dataclasses
+        for field in dataclasses.fields(stats):
+            value = getattr(stats, field.name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(f"{prefix}.{field.name}").set(value)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in: counters sum, gauges max, histograms
+        merge their sketches.  Returns ``self``."""
+        for name, counter in other._counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other._gauges.items():
+            mine = self.gauge(name)
+            mine.value = max(mine.value, gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name, histogram.sketch.capacity)
+            mine.merge(histogram)
+        return self
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump: counters/gauges as numbers, histograms as
+        ``{count, sum, p50, p95, p99}``."""
+        out: dict = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            out[name] = {"count": histogram.count, "sum": histogram.sum,
+                         "p50": histogram.percentile(50),
+                         "p95": histogram.percentile(95),
+                         "p99": histogram.percentile(99)}
+        return out
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms)")

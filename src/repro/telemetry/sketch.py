@@ -1,0 +1,185 @@
+"""Streaming quantile sketches: bounded-memory percentiles at fleet scale.
+
+``SimulationReport`` historically kept every latency sample in a Python
+list — O(requests) memory that rules out the 10^4–10^6-session traces
+the fleet simulator targets.  :class:`QuantileSketch` replaces the
+sorted list with a **deterministic multi-level compaction summary** in
+the Munro–Paterson / KLL family:
+
+* level ``i`` holds a buffer of values each standing for ``2^i``
+  original observations;
+* when a buffer reaches ``capacity`` it is sorted and *compacted* —
+  every other element (the survivor offset alternates deterministically
+  per level, so consecutive compactions cancel rather than accumulate
+  rank bias) is promoted to level ``i + 1`` at doubled weight;
+* a quantile query sorts the O(capacity · log(n / capacity)) surviving
+  weighted points and walks the cumulative weight to the target rank.
+
+With ``H = log2(n / capacity)`` populated levels the worst-case rank
+error is about ``H / (2 · capacity)`` of ``n`` — under 0.5% of rank at
+the default capacity for a million observations, and far smaller in
+practice (the accuracy suite holds it to ≤ 1% of rank against
+``np.percentile`` on uniform, heavy-tailed and adversarially sorted
+streams).  Everything is deterministic: no randomized compaction, so a
+replayed trace reports bit-identical percentiles.
+
+Sketches are **mergeable**: :meth:`QuantileSketch.merge` concatenates
+per-level buffers and re-compacts, so per-replica (or per-session)
+sketches roll up into fleet aggregates exactly like
+:class:`~repro.serving.service.ServiceStats` counters do — merging
+shards is equivalent, up to the same error bound, to sketching the
+concatenated stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile summary with deterministic error.
+
+    ``capacity`` bounds each level's buffer (and therefore the total
+    footprint at ``O(capacity · log(n / capacity))`` floats).  The exact
+    minimum and maximum are tracked separately, so ``quantile(0.0)`` and
+    ``quantile(1.0)`` are always exact and every estimate is clamped
+    into the observed range.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 8:
+            raise ValueError(f"capacity must be >= 8, got {capacity}")
+        if capacity % 2:
+            raise ValueError(f"capacity must be even, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._levels: list[list[float]] = [[]]
+        self._offsets: list[int] = [0]  # per-level alternating survivor offset
+
+    # -- ingest ----------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Observe one value (must be finite)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"sketch values must be finite, got {value!r}")
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        level0 = self._levels[0]
+        level0.append(value)
+        if len(level0) >= self.capacity:
+            self._compact(0)
+
+    def extend(self, values) -> None:
+        """Observe every value of an iterable (or array)."""
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.add(value)
+
+    def _grow_to(self, level: int) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+            self._offsets.append(0)
+
+    def _compact(self, level: int) -> None:
+        """Promote half of a full buffer to the next level (weight x2).
+
+        The buffer is sorted; survivors are every other element starting
+        at the level's alternating offset, so the ±half-weight rank
+        perturbation of consecutive compactions cancels instead of
+        drifting.  An odd element count keeps one value behind at this
+        level (weights must stay exact powers of two).
+        """
+        buffer = self._levels[level]
+        buffer.sort()
+        carry = [buffer.pop()] if len(buffer) % 2 else []
+        offset = self._offsets[level]
+        self._offsets[level] ^= 1
+        survivors = buffer[offset::2]
+        self._levels[level] = carry
+        self._grow_to(level + 1)
+        self._levels[level + 1].extend(survivors)
+        if len(self._levels[level + 1]) >= self.capacity:
+            self._compact(level + 1)
+
+    # -- merge -----------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold another sketch into this one (returns ``self``).
+
+        Per-level buffers concatenate (weights line up: level ``i`` is
+        weight ``2^i`` in both sketches) and any buffer pushed past
+        capacity re-compacts, so merging R shards answers quantiles of
+        the concatenated stream within the same rank-error bound.
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"can only merge QuantileSketch, got "
+                            f"{type(other).__name__}")
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._grow_to(len(other._levels) - 1)
+        for level, buffer in enumerate(other._levels):
+            self._levels[level].extend(buffer)
+        for level in range(len(self._levels)):
+            if len(self._levels[level]) >= self.capacity:
+                self._compact(level)
+        return self
+
+    # -- query -----------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        """Values currently retained across all levels (memory proxy)."""
+        return sum(len(buffer) for buffer in self._levels)
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (``q`` in [0, 1]) of the stream.
+
+        Raises:
+            ValueError: ``q`` is outside [0, 1] or the sketch is empty.
+        """
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("cannot query an empty sketch")
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        values = np.concatenate(
+            [np.asarray(buffer, dtype=np.float64)
+             for buffer in self._levels if buffer])
+        weights = np.concatenate(
+            [np.full(len(buffer), float(2 ** level))
+             for level, buffer in enumerate(self._levels) if buffer])
+        order = np.argsort(values, kind="stable")
+        cumulative = np.cumsum(weights[order])
+        target = q * cumulative[-1]
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        index = min(index, len(order) - 1)
+        estimate = float(values[order[index]])
+        return min(max(estimate, self.min), self.max)
+
+    def percentile(self, p: float) -> float:
+        """The estimated ``p``-th percentile (``p`` in [0, 100])."""
+        return self.quantile(p / 100.0)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return f"QuantileSketch(capacity={self.capacity}, empty)"
+        return (f"QuantileSketch(capacity={self.capacity}, n={self.count}, "
+                f"footprint={self.footprint}, "
+                f"p50={self.quantile(0.5):.4g})")

@@ -1,0 +1,244 @@
+"""The autoscaler control loop and elastic-fleet invariants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ci import Server
+from repro.core.selector import Selector
+from repro.utils.rng import new_rng
+from repro.serving import (
+    Autoscaler,
+    AutoscalePolicy,
+    FleetPolicy,
+    InferenceService,
+    ReplicaHealth,
+    ServiceFleet,
+    TickCost,
+    diurnal_trace,
+    simulate_fleet,
+)
+
+FEATURES = np.ones((1, 4), dtype=np.float32)
+
+FLEET_POLICY = FleetPolicy(heartbeat_interval_s=0.5, suspect_after_s=1.5,
+                           down_after_s=3.0, checkpoint_interval_s=5.0)
+
+
+def make_replica(max_batch=8, max_queue=24):
+    return InferenceService(Server([nn.Identity(), nn.Identity()]),
+                            max_batch=max_batch, max_queue=max_queue)
+
+
+def make_fleet(replicas=2, with_selector=False, **session_kwargs):
+    fleet = ServiceFleet([make_replica() for _ in range(replicas)],
+                         policy=FLEET_POLICY)
+    sessions = []
+    for i in range(32):
+        selector = (Selector.random(2, 1, rng=new_rng(i))
+                    if with_selector else None)
+        sessions.append(fleet.open_session(nn.Identity(), nn.Identity(),
+                                           selector=selector,
+                                           **session_kwargs))
+    return fleet, sessions
+
+
+class FakeFleet:
+    """A stub exposing just the surface Autoscaler consumes."""
+
+    def __init__(self, pressures, ring_size=2):
+        self._pressures = iter(pressures)
+        self.pressure = 0.0
+        self.spawned = 0
+        self.drained = []
+        self.fleet_stats = type("S", (), {"migrated_sessions": 0})()
+        self.migration_epsilon_log = []
+        self._ring_ids = list(range(ring_size))
+        self.ring = type("R", (), {})()
+        type(self.ring).replica_ids = property(
+            lambda r, s=self: tuple(s._ring_ids))
+
+    def advance(self):
+        self.pressure = next(self._pressures)
+
+    def spawn_replica(self, service):
+        self.spawned += 1
+        rid = max(self._ring_ids) + 1
+        self._ring_ids.append(rid)
+        return rid
+
+    def drain(self, rid):
+        self._ring_ids.remove(rid)
+        self.drained.append(rid)
+        return 0
+
+    def handle(self, rid):
+        service = type("Svc", (), {"pending": rid})()  # pending == rid
+        return type("H", (), {"service": service})()
+
+
+def drive(auto, fleet, steps, dt=1.0):
+    events = []
+    for i in range(steps):
+        fleet.advance()
+        event = auto.step(i * dt)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(scale_up_pressure=0.3, scale_down_pressure=0.5)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(smoothing=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(patience=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(check_interval_s=0.0)
+
+
+class TestControlLoop:
+    def test_patience_debounces_single_spike(self):
+        fleet = FakeFleet([0.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            min_replicas=2, max_replicas=4, patience=2, smoothing=1.0,
+            cooldown_s=0.0),
+            replica_factory=lambda: None)
+        events = drive(auto, fleet, 6)
+        assert events == []
+        assert fleet.spawned == 0
+
+    def test_sustained_pressure_spawns_once_patience_met(self):
+        fleet = FakeFleet([1.0] * 6)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            max_replicas=3, patience=2, smoothing=1.0, cooldown_s=100.0),
+            replica_factory=lambda: None)
+        events = drive(auto, fleet, 6)
+        # patience=2 -> acts on the 2nd breach; cooldown then blocks more.
+        assert [e.action for e in events] == ["spawn"]
+        assert fleet.spawned == 1
+
+    def test_cooldown_gates_consecutive_actions(self):
+        fleet = FakeFleet([1.0] * 12)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            max_replicas=8, patience=1, smoothing=1.0, cooldown_s=3.5),
+            replica_factory=lambda: None)
+        events = drive(auto, fleet, 12, dt=1.0)
+        times = [e.time for e in events]
+        assert all(b - a >= 3.5 for a, b in zip(times, times[1:]))
+        assert fleet.spawned == len(events) > 1
+
+    def test_max_replicas_clamps_scale_up(self):
+        fleet = FakeFleet([1.0] * 8, ring_size=2)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            max_replicas=2, patience=1, smoothing=1.0, cooldown_s=0.0),
+            replica_factory=lambda: None)
+        assert drive(auto, fleet, 8) == []
+        assert fleet.spawned == 0
+
+    def test_min_replicas_clamps_scale_down(self):
+        fleet = FakeFleet([0.0] * 8, ring_size=1)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            min_replicas=1, patience=1, smoothing=1.0, cooldown_s=0.0))
+        assert drive(auto, fleet, 8) == []
+        assert fleet.drained == []
+
+    def test_scale_down_picks_least_loaded_ring_replica(self):
+        # FakeFleet.handle reports pending == replica id, so replica 0
+        # is always the emptiest.
+        fleet = FakeFleet([0.0] * 2, ring_size=3)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            min_replicas=1, patience=1, smoothing=1.0, cooldown_s=0.0))
+        events = drive(auto, fleet, 2)
+        assert [e.action for e in events] == ["drain", "drain"]
+        assert fleet.drained == [0, 1]
+
+    def test_ewma_smooths_the_signal(self):
+        auto = Autoscaler(FakeFleet([]), AutoscalePolicy(smoothing=0.5))
+        assert auto.observe(1.0) == 1.0      # first sample seeds the EWMA
+        assert auto.observe(0.0) == 0.5
+        assert auto.observe(0.0) == 0.25
+
+    def test_scale_up_without_factory_raises(self):
+        fleet = FakeFleet([1.0] * 4)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            max_replicas=4, patience=1, smoothing=1.0))
+        fleet.advance()
+        with pytest.raises(RuntimeError, match="replica_factory"):
+            auto.step(0.0)
+
+
+class TestElasticFleet:
+    def test_spawn_rebalances_sessions_to_new_replica(self):
+        fleet, sessions = make_fleet(replicas=2)
+        homes_before = {s.session_id: fleet.home_of(s.session_id)
+                        for s in sessions}
+        rid = fleet.spawn_replica(make_replica())
+        assert rid == 2
+        assert fleet.health(rid) is ReplicaHealth.HEALTHY
+        assert rid in fleet.ring.replica_ids
+        moved = [sid for sid in homes_before
+                 if fleet.home_of(sid) != homes_before[sid]]
+        assert moved  # the new replica's arcs captured some sessions
+        assert all(fleet.home_of(sid) == rid for sid in moved)
+        # Ownership is ring-consistent for every session.
+        for s in sessions:
+            assert fleet.home_of(s.session_id) == fleet.ring.owner(s.session_id)
+        assert fleet.fleet_stats.spawns == 1
+        assert fleet.fleet_stats.migrated_sessions == len(moved)
+
+    def test_spawn_migration_ratchets_epsilon_and_keeps_rotation(self):
+        fleet, sessions = make_fleet(replicas=2, with_selector=True,
+                                     privacy=(8.0, 100.0, 50),
+                                     rotation="per_query")
+        # Serve some traffic so budgets have real spend to preserve.
+        for s in sessions[:8]:
+            s.submit_features(FEATURES)
+        fleet.run_until_idle()
+        spends = {s.session_id: s.privacy.spent for s in sessions}
+        rotations = {s.session_id: s.rotation.rotation_index
+                     for s in sessions if s.rotation is not None}
+        fleet.spawn_replica(make_replica())
+        assert fleet.migration_epsilon_log  # the spawn migrated someone
+        for sid, before, after in fleet.migration_epsilon_log:
+            assert after >= before
+        for s in sessions:  # live migration: nothing replayed or reset
+            assert s.privacy.spent == spends[s.session_id]
+            if s.rotation is not None:
+                assert s.rotation.rotation_index == rotations[s.session_id]
+
+    def test_spawned_replica_serves_traffic(self):
+        fleet, sessions = make_fleet(replicas=1)
+        rid = fleet.spawn_replica(make_replica())
+        moved = [s for s in sessions if fleet.home_of(s.session_id) == rid]
+        assert moved
+        moved[0].submit_features(FEATURES)
+        fleet.run_until_idle()
+        assert fleet.handle(rid).service.stats.served_requests == 1
+
+    def test_autoscaled_replay_invariants(self):
+        fleet, _ = make_fleet(replicas=2)
+        sessions = fleet.sessions
+        trace = diurnal_trace(len(sessions), 1500, 30.0, period_s=15.0,
+                              peak_factor=8.0, seed=7)
+        auto = Autoscaler(fleet, AutoscalePolicy(
+            min_replicas=2, max_replicas=6, scale_up_pressure=0.4,
+            scale_down_pressure=0.05, smoothing=0.5, patience=2,
+            cooldown_s=1.0, check_interval_s=0.2),
+            replica_factory=make_replica)
+        report = simulate_fleet(fleet, sessions, trace,
+                                TickCost(0.01, 0.008, 0.0005),
+                                default_features=FEATURES, autoscaler=auto)
+        assert report.spawns >= 1          # the peak forced a scale-up
+        assert report.conservation_ok
+        assert report.duplicate_serves == 0
+        assert report.epsilon_ratchet_ok
+        assert report.autoscale_log
+        assert auto.events  # same actions, rich form
+        assert report.replicas_final == len(fleet.ring.replica_ids)

@@ -475,3 +475,179 @@ class TestInt8Codec:
         config = ServingConfig(codec="int8", rate_limit=(5.0, 2))
         assert config.codec == "int8"
         assert config.rate_limit == RateLimit(5.0, 2)
+
+
+class TestSampleCostRateLimit:
+    """The per-sample token bucket (PR 9): fat batches pay for the work
+    they buy; the flat per-request price stays the back-compat default."""
+
+    def make_session(self, limit):
+        service = identity_service(max_queue=64)
+        session = service.adopt_session(Client(nn.Identity(), nn.Identity()),
+                                        rate_limit=limit)
+        return service, session
+
+    def features(self, batch):
+        return rng.random((batch, 4, 2, 2)).astype(np.float32)
+
+    def test_parse_per_sample_tuple(self):
+        limit = RateLimit.parse((100.0, 8, True))
+        assert limit.per_sample and limit.burst == 8
+        assert not RateLimit.parse((100.0, 8)).per_sample
+
+    def test_cost_of_modes(self):
+        fat = request(1, 0, batch=4)
+        assert RateLimit(10.0).cost_of(fat) == 1.0
+        assert RateLimit(10.0, burst=8, per_sample=True).cost_of(fat) == 4.0
+
+    def test_request_cost_ignores_batch_size(self):
+        """Regression: default mode still charges one token per request,
+        however many samples the upload carries."""
+        service, session = self.make_session(RateLimit(rate_per_s=10.0,
+                                                       burst=2))
+        session.submit_features(self.features(4))
+        session.submit_features(self.features(4))
+        with pytest.raises(RateLimitedError, match="req/s"):
+            session.submit_features(self.features(1))
+        assert service.stats.throttled_requests == 1
+
+    def test_sample_cost_charges_batch_size(self):
+        service, session = self.make_session(
+            RateLimit(rate_per_s=10.0, burst=4, per_sample=True))
+        session.submit_features(self.features(3))  # 1 token left
+        with pytest.raises(RateLimitedError, match="samples/s"):
+            session.submit_features(self.features(2))
+        session.submit_features(self.features(1))  # the last token fits
+        assert service.stats.throttled_requests == 1
+        assert session.limiter.available(service.now) == pytest.approx(0.0)
+
+    def test_oversized_batch_never_admitted(self):
+        """A batch larger than burst cannot fit even a full bucket."""
+        service, session = self.make_session(
+            RateLimit(rate_per_s=10.0, burst=2, per_sample=True))
+        with pytest.raises(RateLimitedError, match="cost 4"):
+            session.submit_features(self.features(4))
+        service.advance_clock(100.0)  # refill changes nothing
+        with pytest.raises(RateLimitedError):
+            session.submit_features(self.features(4))
+
+    def test_sample_tokens_refill_on_virtual_clock(self):
+        service, session = self.make_session(
+            RateLimit(rate_per_s=10.0, burst=4, per_sample=True))
+        session.submit_features(self.features(4))
+        with pytest.raises(RateLimitedError):
+            session.submit_features(self.features(2))
+        service.advance_clock(0.2)  # 0.2 s * 10 samples/s = 2 tokens
+        session.submit_features(self.features(2))
+        assert service.stats.throttled_requests == 1
+
+    def test_throttled_batch_spends_nothing(self):
+        service, session = self.make_session(
+            RateLimit(rate_per_s=10.0, burst=4, per_sample=True))
+        session.submit_features(self.features(2))
+        with pytest.raises(RateLimitedError):
+            session.submit_features(self.features(3))
+        assert session.limiter.available(service.now) == pytest.approx(2.0)
+
+
+class TestHierarchicalRateClasses:
+    """One level of nesting in the weighted scheduler (PR 9): a rate
+    class buys a fixed aggregate share; members split it internally."""
+
+    def serve_window(self, scheduler, groups, max_batch=3):
+        served = {}
+        for _ in range(groups):
+            for r in scheduler.next_group(max_batch=max_batch):
+                served[r.session_id] = served.get(r.session_id, 0) \
+                    + r.batch_size
+        return served
+
+    def test_class_share_fixed_regardless_of_member_count(self):
+        """Two unit-weight members of a weight-2 class together match a
+        weight-2 outsider, member-for-member splitting their half."""
+        scheduler = WeightedFairScheduler()
+        scheduler.set_session_weight(1, 1.0)
+        scheduler.set_rate_class(1, "org", class_weight=2.0)
+        scheduler.set_session_weight(2, 1.0)
+        scheduler.set_rate_class(2, "org")
+        scheduler.set_session_weight(3, 2.0)
+        for i in range(40):
+            for sid in (1, 2, 3):
+                scheduler.enqueue(request(sid, i))
+        served = self.serve_window(scheduler, 20)  # all stay backlogged
+        assert served[1] + served[2] == served[3]
+        assert served[1] == served[2]
+
+    def test_idle_member_slice_flows_to_classmates(self):
+        """With one member idle, the lone backlogged member inherits the
+        whole class weight — the class share never leaks."""
+        scheduler = WeightedFairScheduler()
+        scheduler.set_session_weight(1, 1.0)
+        scheduler.set_rate_class(1, "org", class_weight=2.0)
+        scheduler.set_session_weight(2, 1.0)
+        scheduler.set_rate_class(2, "org")  # registered but never queues
+        scheduler.set_session_weight(3, 2.0)
+        for i in range(40):
+            scheduler.enqueue(request(1, i))
+            scheduler.enqueue(request(3, i))
+        served = self.serve_window(scheduler, 20)
+        assert served[1] == served[3]
+        assert 2 not in served
+
+    def test_intra_class_weights_split_proportionally(self):
+        scheduler = WeightedFairScheduler()
+        scheduler.set_session_weight(1, 3.0)
+        scheduler.set_rate_class(1, "org", class_weight=4.0)
+        scheduler.set_session_weight(2, 1.0)
+        scheduler.set_rate_class(2, "org")
+        for i in range(80):
+            scheduler.enqueue(request(1, i))
+            scheduler.enqueue(request(2, i))
+        served = self.serve_window(scheduler, 20)
+        ratio = served[1] / served[2]
+        assert abs(ratio - 3.0) / 3.0 <= 0.15, served
+
+    def test_zero_weight_member_stays_best_effort(self):
+        scheduler = WeightedFairScheduler()
+        scheduler.set_session_weight(1, 1.0)
+        scheduler.set_rate_class(1, "org", class_weight=5.0)
+        scheduler.set_session_weight(9, 0.0)
+        scheduler.set_rate_class(9, "org")
+        for i in range(3):
+            scheduler.enqueue(request(1, i))
+            scheduler.enqueue(request(9, i))
+        first = scheduler.next_group(max_batch=8)
+        assert [r.session_id for r in first] == [1, 1, 1]
+        second = scheduler.next_group(max_batch=8)
+        assert [r.session_id for r in second] == [9, 9, 9]
+
+    def test_class_weight_required_on_first_use(self):
+        scheduler = WeightedFairScheduler()
+        with pytest.raises(ValueError, match="no weight yet"):
+            scheduler.set_rate_class(1, "org")
+        scheduler.set_rate_class(1, "org", class_weight=2.0)
+        scheduler.set_rate_class(2, "org")  # now fine
+        assert scheduler.rate_class_of(2) == "org"
+
+    def test_class_weight_validation(self):
+        scheduler = WeightedFairScheduler()
+        with pytest.raises(ValueError, match="class_weight"):
+            scheduler.set_rate_class(1, "org", class_weight=0.0)
+        with pytest.raises(ValueError, match="class_weight"):
+            scheduler.set_rate_class(1, "org", class_weight=math.inf)
+
+    def test_cancel_session_clears_class_membership(self):
+        scheduler = WeightedFairScheduler()
+        scheduler.set_rate_class(1, "org", class_weight=2.0)
+        assert scheduler.rate_class_of(1) == "org"
+        scheduler.cancel_session(1)
+        assert scheduler.rate_class_of(1) is None
+
+    def test_unclassed_sessions_unaffected(self):
+        """Raw weight_of stays the negotiated weight — contention and
+        best-effort logic see no change from classes existing."""
+        scheduler = WeightedFairScheduler()
+        scheduler.set_session_weight(1, 2.0)
+        scheduler.set_rate_class(2, "org", class_weight=8.0)
+        assert scheduler.weight_of(1) == 2.0
+        assert scheduler._effective_weight(1) == 2.0

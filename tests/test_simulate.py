@@ -188,3 +188,77 @@ class TestDeadlineBeatsFifoOnBursts:
         report = self.run("fifo")
         assert "fifo" in report.summary()
         assert "p95" in report.summary()
+
+
+class TestStreamingReports:
+    """Sketch-backed reports and lazy trace consumption (PR 9)."""
+
+    def run(self, trace, **kwargs):
+        service, sessions = make_service("fifo", num_sessions=4)
+        cost = TickCost(0.001, 0.0005, 0.0001)
+        return simulate(service, sessions, trace, cost,
+                        default_features=FEATURES, **kwargs)
+
+    def stream(self, num_requests=200):
+        return iter(poisson_trace(num_sessions=4, num_requests=num_requests,
+                                  rate_hz=500.0,
+                                  rng=np.random.default_rng(7)))
+
+    def test_generator_trace_defaults_to_sketch_only(self):
+        report = self.run(self.stream())
+        assert report.served == report.served_total == 200
+        assert report.latencies_s == []          # exact lists not retained
+        assert report.latencies_by_session == {}
+        assert len(report.latency_sketch) == 200
+        # Percentiles still answer, from the sketch.
+        assert report.p99_s >= report.p50_s > 0.0
+        assert report.mean_latency_s > 0.0
+
+    def test_list_trace_defaults_to_exact_lists(self):
+        trace = poisson_trace(num_sessions=4, num_requests=100, rate_hz=500.0,
+                              rng=np.random.default_rng(7))
+        report = self.run(trace)
+        assert len(report.latencies_s) == 100
+        assert report.served == 100
+
+    def test_retain_override_on_generator(self):
+        report = self.run(self.stream(100), retain_latencies=True)
+        assert len(report.latencies_s) == 100
+
+    def test_sketch_tracks_exact_percentiles(self):
+        trace = poisson_trace(num_sessions=4, num_requests=400, rate_hz=500.0,
+                              rng=np.random.default_rng(7))
+        exact = self.run(list(trace))
+        sketched = self.run(iter(trace))  # same trace, streamed
+        for q in (50, 90, 99):
+            assert sketched.percentile(q) == pytest.approx(
+                exact.percentile(q), rel=0.05, abs=1e-4)
+
+    def test_session_percentile_falls_back_to_sketch(self):
+        report = self.run(self.stream())
+        sid = next(iter(report.sketch_by_session))
+        assert report.session_percentile(sid, 95) > 0.0
+        assert report.session_percentile(999_999, 95) == 0.0
+
+    def test_out_of_order_stream_raises(self):
+        def bad():
+            yield Arrival(0.5, 0)
+            yield Arrival(0.1, 1)  # time went backwards mid-stream
+        with pytest.raises(ValueError, match="non-decreasing"):
+            self.run(bad())
+
+    def test_out_of_order_list_still_sorted(self):
+        trace = [Arrival(0.5, 0), Arrival(0.1, 1)]  # historical contract
+        report = self.run(trace)
+        assert report.served == 2
+
+    def test_metrics_registry_receives_aggregates(self):
+        from repro.telemetry import MetricsRegistry
+        registry = MetricsRegistry()
+        report = self.run(self.stream(), metrics=registry)
+        assert registry.counter("sim.served").value == 200
+        histogram = registry.histogram("sim.latency_s")
+        assert histogram.count == 200
+        assert histogram.percentile(50) == pytest.approx(report.p50_s)
+        # The service's stat fields arrive as gauges.
+        assert registry.gauge("service.served_requests").value == 200

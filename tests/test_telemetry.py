@@ -1,0 +1,239 @@
+"""Accuracy, mergeability and registry semantics for repro.telemetry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
+
+QUANTILES = (0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999)
+
+
+def rank_error(sketch, values, q):
+    """|rank(estimate) - q·n| / n for the sketch's q-quantile estimate."""
+    estimate = sketch.quantile(q)
+    ordered = np.sort(values)
+    lo = np.searchsorted(ordered, estimate, side="left")
+    hi = np.searchsorted(ordered, estimate, side="right")
+    target = q * len(ordered)
+    if lo <= target <= hi:
+        return 0.0
+    return min(abs(lo - target), abs(hi - target)) / len(ordered)
+
+
+def max_rank_error(sketch, values):
+    return max(rank_error(sketch, values, q) for q in QUANTILES)
+
+
+class TestSketchAccuracy:
+    """Rank error <= 1% vs np.percentile on the mandated stream shapes."""
+
+    N = 100_000
+
+    def _check(self, values):
+        sketch = QuantileSketch(capacity=1024)
+        sketch.extend(values)
+        assert sketch.count == len(values)
+        assert max_rank_error(sketch, values) <= 0.01
+
+    def test_uniform_stream(self):
+        rng = np.random.default_rng(0)
+        self._check(rng.uniform(0.0, 1.0, self.N))
+
+    def test_heavy_tailed_stream(self):
+        rng = np.random.default_rng(1)
+        self._check(rng.lognormal(mean=0.0, sigma=2.5, size=self.N))
+
+    def test_adversarial_sorted_ascending(self):
+        self._check(np.arange(self.N, dtype=np.float64))
+
+    def test_adversarial_sorted_descending(self):
+        self._check(np.arange(self.N, dtype=np.float64)[::-1])
+
+    def test_min_max_exact(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=self.N)
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.quantile(0.0) == values.min()
+        assert sketch.quantile(1.0) == values.max()
+        assert sketch.percentile(0) == values.min()
+        assert sketch.percentile(100) == values.max()
+
+    def test_small_stream_is_exact(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        sketch = QuantileSketch(capacity=8)
+        sketch.extend(values)
+        assert sketch.quantile(0.5) == 3.0
+
+    def test_footprint_bounded(self):
+        sketch = QuantileSketch(capacity=256)
+        sketch.extend(np.arange(200_000, dtype=np.float64))
+        levels = math.log2(200_000 / 256) + 2
+        assert sketch.footprint <= 256 * levels
+
+
+class TestSketchMerge:
+    """merge() must answer like a sketch of the concatenated stream."""
+
+    def test_merge_equivalent_to_concatenate(self):
+        rng = np.random.default_rng(3)
+        shards = [rng.lognormal(sigma=2.0, size=40_000) for _ in range(6)]
+        merged = QuantileSketch(capacity=1024)
+        for shard in shards:
+            piece = QuantileSketch(capacity=1024)
+            piece.extend(shard)
+            merged.merge(piece)
+        everything = np.concatenate(shards)
+        assert merged.count == len(everything)
+        assert merged.min == everything.min()
+        assert merged.max == everything.max()
+        assert max_rank_error(merged, everything) <= 0.01
+
+    def test_merge_empty_and_into_empty(self):
+        full = QuantileSketch()
+        full.extend([1.0, 2.0, 3.0])
+        empty = QuantileSketch()
+        empty.merge(full)
+        assert empty.count == 3
+        assert empty.quantile(0.5) == 2.0
+        full.merge(QuantileSketch())
+        assert full.count == 3
+
+    def test_merge_returns_self_and_type_checked(self):
+        sketch = QuantileSketch()
+        assert sketch.merge(QuantileSketch()) is sketch
+        with pytest.raises(TypeError):
+            sketch.merge([1.0, 2.0])
+
+    def test_deterministic_replay(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(size=50_000)
+        a, b = QuantileSketch(), QuantileSketch()
+        a.extend(values)
+        b.extend(values)
+        assert [a.quantile(q) for q in QUANTILES] == \
+               [b.quantile(q) for q in QUANTILES]
+
+
+class TestSketchValidation:
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            QuantileSketch().quantile(0.5)
+
+    def test_bad_q_raises(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sketch.quantile(-0.1)
+
+    def test_non_finite_rejected(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add(math.nan)
+        with pytest.raises(ValueError, match="finite"):
+            sketch.add(math.inf)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=4)
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=9)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_levels(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3.0
+        with pytest.raises(ValueError):
+            gauge.set(math.inf)
+
+    def test_histogram_stats(self):
+        histogram = Histogram("latency")
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean == 0.0
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10.0
+        assert histogram.mean == 2.5
+        assert 1.0 <= histogram.percentile(50) <= 3.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.names == ("a", "b", "c")
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("served").inc(5)
+        b.counter("served").inc(7)
+        a.gauge("depth").set(3)
+        b.gauge("depth").set(9)
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").observe(3.0)
+        b.counter("only_b").inc(1)
+        assert a.merge(b) is a
+        assert a.counter("served").value == 12.0
+        assert a.gauge("depth").value == 9.0
+        assert a.histogram("lat").count == 2
+        assert a.counter("only_b").value == 1.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(2)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["served"] == 2.0
+        assert snap["depth"] == 4.0
+        assert snap["lat"]["count"] == 1
+        assert set(snap["lat"]) == {"count", "sum", "p50", "p95", "p99"}
+
+    def test_publish_fields_from_dataclass(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Stats:
+            served: int = 11
+            depth: float = 2.5
+            flag: bool = True
+            label: str = "x"
+
+        registry = MetricsRegistry()
+        registry.publish_fields(Stats(), prefix="svc")
+        assert registry.gauge("svc.served").value == 11.0
+        assert registry.gauge("svc.depth").value == 2.5
+        assert "svc.flag" not in registry.names
+        assert "svc.label" not in registry.names
