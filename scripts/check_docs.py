@@ -29,6 +29,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SERVING_MODULES = (
+    "repro.nn.arena",
     "repro.serving",
     "repro.serving.autoscale",
     "repro.serving.checkpoint",

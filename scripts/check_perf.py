@@ -7,6 +7,10 @@ benchmarks live in ``benchmarks/``):
 * **ensemble** — the batched N-body pass must not be slower than looped
   ``server_outputs`` for any N >= 5 (the regime the Ensembler protocol
   actually serves; the paper runs N=10), with outputs matching to 1e-5.
+* **kernel_fusion** — the eval-time serve-path optimisations must pay for
+  themselves on the BN-bound pointwise workload: folded (BN-fold + arena)
+  ticks >= 1.15x unfolded tick throughput at N=8, zero-copy frame decode
+  not slower than the copying parse, both serve arms matching to 1e-5.
 * **attack** — the fused multi-attack subset sweep must not be slower than
   the looped per-subset loop for K >= 7 subsets (the brute-force regime;
   even N=4 with leaked P=2 already enumerates C(4,2)+ subsets).
@@ -92,6 +96,41 @@ def measure_with_retry(measure, label: str, attempts: int = 2) -> list[str]:
               "scheduler noise...")
         failures = measure()
     return failures
+
+
+def check_kernel_fusion() -> list[str]:
+    """Eval-time fusion gate: the folded fast path must pay for itself.
+
+    Gates the serve-path optimisations end to end on the BN-bound
+    pointwise workload they target: folded + arena ticks must be
+    >= 1.15x unfolded tick throughput at N=8, zero-copy frame decode
+    must not be slower than the copying parse, and the two serve arms
+    must agree to 1e-5.  Each gated measurement is appended to
+    ``BENCH_ensemble.json`` so the CI artifact records what the gate saw.
+    """
+    bench = load_bench("bench_ensemble")
+
+    def measure() -> list[str]:
+        record = bench.run_kernel_fusion_benchmark()
+        bench.write_record(record)
+        bench.print_kernel_fusion(record)
+        failures = []
+        if record["max_abs_diff"] > 1e-5:
+            failures.append(
+                f"kernel_fusion: folded and unfolded serve arms diverge "
+                f"(max abs diff {record['max_abs_diff']:.2e} > 1e-5)")
+        if record["tick"]["speedup"] < 1.15:
+            failures.append(
+                f"kernel_fusion: folded fast path is "
+                f"{record['tick']['speedup']:.2f}x unfolded tick throughput "
+                f"at N={record['num_nets']} (< 1.15x)")
+        if record["decode"]["speedup"] < 1.0:
+            failures.append(
+                f"kernel_fusion: zero-copy decode is SLOWER than the "
+                f"copying parse ({record['decode']['speedup']:.2f}x)")
+        return failures
+
+    return measure_with_retry(measure, "kernel_fusion")
 
 
 def check_attack() -> list[str]:
@@ -348,15 +387,17 @@ def check_privacy() -> list[str]:
 
 
 def main() -> int:
-    failures = (check_ensemble() + check_attack() + check_serving()
-                + check_schedulers() + check_chaos() + check_fleet()
-                + check_fleet_scale() + check_privacy())
+    failures = (check_ensemble() + check_kernel_fusion() + check_attack()
+                + check_serving() + check_schedulers() + check_chaos()
+                + check_fleet() + check_fleet_scale() + check_privacy())
     if failures:
         print("\nPERF CHECK FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     print("\nperf check ok: batched >= looped for N >= 5, "
+          "folded fast-path ticks >= 1.15x unfolded at N=8 with zero-copy "
+          "decode no slower than copying, "
           "fused attack >= looped for K >= 7, "
           "coalesced serving >= sequential for S >= 4, "
           "fair-share within 10% of FIFO, deadline p95 < FIFO p95, "

@@ -79,7 +79,8 @@ class Server:
     :meth:`sync` after mutating them.
     """
 
-    def __init__(self, bodies: list[nn.Module], backend: str = "batched"):
+    def __init__(self, bodies: list[nn.Module], backend: str = "batched",
+                 fold_bn: bool = True):
         if not bodies:
             raise ValueError("server needs at least one body network")
         if backend not in ("batched", "looped"):
@@ -87,6 +88,7 @@ class Server:
         self.bodies = bodies
         self.observed_features: list[np.ndarray] = []
         self.backend = "looped"
+        self.fold_bn = fold_bn
         self._stacked: StackedBodies | None = None
         # Lazily-built fused engines over body *prefixes* (bodies[:k]) —
         # the overload controller's shrunken-ensemble passes reuse them.
@@ -96,7 +98,7 @@ class Server:
         self._stacked_stale = False
         if backend == "batched" and len(bodies) > 1:
             # None for heterogeneous bodies: serve them with the loop.
-            self._stacked = StackedBodies.try_build(bodies)
+            self._stacked = StackedBodies.try_build(bodies, fold_bn=fold_bn)
             if self._stacked is not None:
                 self.backend = "batched"
 
@@ -109,6 +111,19 @@ class Server:
             self._stacked_stale = False
         return self
 
+    @property
+    def padding_safe(self) -> bool:
+        """Whether the fused engine tolerates speculative canvas padding.
+
+        True only for spatially-pointwise body trees (see
+        :func:`repro.nn.batched.padding_safe`): zero-padding the input
+        canvas then cropping the output is then exact.  Looped or
+        train-mode servers always report False.
+        """
+        return (self._stacked is not None
+                and not any(body.training for body in self.bodies)
+                and self._stacked.padding_safe())
+
     def _subset_engine(self, k: int) -> StackedBodies | None:
         """The fused engine over ``bodies[:k]``, built lazily (or ``None``
         when the prefix cannot be stacked and must run the loop)."""
@@ -117,7 +132,8 @@ class Server:
         if self._stacked_stale:
             self.sync()  # refresh mirrors before building from the bodies
         if k not in self._subset_cache:
-            self._subset_cache[k] = StackedBodies.try_build(self.bodies[:k])
+            self._subset_cache[k] = StackedBodies.try_build(
+                self.bodies[:k], fold_bn=self.fold_bn)
         return self._subset_cache[k]
 
     def compute(self, features: np.ndarray, record: bool = False,

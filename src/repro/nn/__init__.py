@@ -6,8 +6,9 @@ This subpackage replaces PyTorch for the reproduction: reverse-mode autograd
 (:mod:`repro.nn.optim`).
 """
 
-from repro.nn import functional, init, optim
+from repro.nn import arena, functional, init, optim
 from repro.nn import batched
+from repro.nn.arena import TensorArena, active_arena, use_arena
 from repro.nn.batched import StackedBodies, UnstackableError, stack_modules, unbind
 from repro.nn.modules import (
     AvgPool2d,
@@ -69,10 +70,13 @@ __all__ = [
     "StackedBodies",
     "StackedSGD",
     "StepLR",
+    "TensorArena",
     "Tanh",
     "Tensor",
     "UnstackableError",
     "UpsampleNearest2d",
+    "active_arena",
+    "arena",
     "as_tensor",
     "batched",
     "concat",
@@ -85,6 +89,7 @@ __all__ = [
     "stack",
     "stack_modules",
     "unbind",
+    "use_arena",
     "where",
     "zeros",
 ]

@@ -66,6 +66,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.nn import profiling
+from repro.nn.arena import active_arena
 from repro.nn.functional import _col2im, _im2col
 from repro.nn import functional as F
 from repro.nn.modules import (
@@ -86,7 +87,7 @@ from repro.nn.modules import (
     Tanh,
     UpsampleNearest2d,
 )
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.nn.tensor import stack as tensor_stack
 
 
@@ -124,19 +125,50 @@ def batched_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Ten
     return out
 
 
-def _pad_spatial(x: np.ndarray, padding: int) -> np.ndarray:
+def _pad_spatial(x: np.ndarray, padding: int,
+                 out: np.ndarray | None = None) -> np.ndarray:
     """Zero-pad the trailing two (spatial) axes.
 
     Equivalent to ``np.pad`` but a plain alloc-and-assign: ``np.pad``'s
     generic machinery costs more Python time than a whole small conv layer
-    on the fused hot path.
+    on the fused hot path.  ``out``, when given, is an arena-recycled
+    canvas of the padded shape whose contents are undefined: the border is
+    re-zeroed and the interior assigned, so every element is written no
+    matter what the previous pass (or a poisoning test) left behind.
     """
     if padding == 0:
         return x
     shape = x.shape[:-2] + (x.shape[-2] + 2 * padding, x.shape[-1] + 2 * padding)
-    out = np.zeros(shape, dtype=x.dtype)
+    if out is None:
+        out = np.zeros(shape, dtype=x.dtype)
+        out[..., padding:-padding, padding:-padding] = x
+        return out
+    out[..., :padding, :] = 0
+    out[..., -padding:, :] = 0
+    out[..., padding:-padding, :padding] = 0
+    out[..., padding:-padding, -padding:] = 0
     out[..., padding:-padding, padding:-padding] = x
     return out
+
+
+def _conv_scratch(x: Tensor, weight: Tensor, bias: Tensor | None):
+    """The active arena, if gradients cannot be flowing through this op.
+
+    Backward closures capture the im2col column buffer, so scratch may
+    only be recycled when no closure will be wired — exactly the
+    condition :meth:`Tensor._make` uses to drop the backward function.
+    """
+    if is_grad_enabled() and (x.requires_grad or weight.requires_grad
+                              or (bias is not None and bias.requires_grad)):
+        return None
+    return active_arena()
+
+
+def _arena_pad(x: np.ndarray, padding: int, arena) -> np.ndarray:
+    if arena is None or padding == 0:
+        return _pad_spatial(x, padding)
+    shape = x.shape[:-2] + (x.shape[-2] + 2 * padding, x.shape[-1] + 2 * padding)
+    return _pad_spatial(x, padding, out=arena.take("pad", shape, x.dtype))
 
 
 def batched_conv2d(
@@ -174,23 +206,44 @@ def batched_conv2d(
     length = out_h * out_w
     hp, wp = h + 2 * padding, w + 2 * padding
 
+    # Arena-recycled scratch (pad canvas, im2col columns, pre-transpose
+    # matmul buffer) on the no-grad serving fast path.  Only buffers that
+    # are provably consumed inside this op go to the arena — the returned
+    # activation is always freshly allocated, so layer outputs (and the
+    # response payloads sliced from them) never alias pooled memory.
+    arena = _conv_scratch(x, weight, bias)
     if shared:
-        x_pad = _pad_spatial(x.data, padding)
-        cols = _im2col(x_pad, kh, kw, stride)  # (N, K, L)
+        x_pad = _arena_pad(x.data, padding, arena)
+        cols_out = (arena.take("cols", (n, k, length), x_pad.dtype)
+                    if arena is not None else None)
+        cols = _im2col(x_pad, kh, kw, stride, out=cols_out)  # (N, K, L)
         w2 = weight.data.reshape(e * out_c, k)
-        out = np.matmul(w2[None, :, :], cols)  # (N, E*out_c, L)
+        mm_dtype = np.result_type(w2.dtype, cols.dtype)
+        mm_out = (arena.take("mm", (n, e * out_c, length), mm_dtype)
+                  if arena is not None else None)
+        out = np.matmul(w2[None, :, :], cols, out=mm_out)  # (N, E*out_c, L)
         out = np.ascontiguousarray(
             out.reshape(n, e, out_c, out_h, out_w).transpose(1, 0, 2, 3, 4)
         )
     else:
-        x_pad = _pad_spatial(x.data, padding)
-        cols = _im2col(x_pad.reshape(e * n, c, hp, wp), kh, kw, stride)
+        x_pad = _arena_pad(x.data, padding, arena)
+        cols_out = (arena.take("cols", (e * n, k, length), x_pad.dtype)
+                    if arena is not None else None)
+        cols = _im2col(x_pad.reshape(e * n, c, hp, wp), kh, kw, stride,
+                       out=cols_out)
         cols = cols.reshape(e, n, k, length)
         w2 = weight.data.reshape(e, out_c, k)
+        # The matmul result *is* the layer output here (the reshape below
+        # is a view), so it must not come from the arena.
         out = np.matmul(w2[:, None, :, :], cols).reshape(e, n, out_c, out_h, out_w)
     profiling.record("conv2d", 2 * e * n * out_c * out_h * out_w * in_c * kh * kw)
     if bias is not None:
-        out = out + bias.data.reshape(e, 1, out_c, 1, 1)
+        # ``out`` is freshly materialised just above (contiguous copy on
+        # the shared path, matmul product on the 5-D path), so the bias
+        # lands in place — no extra full-tensor temporary.  This keeps a
+        # folded conv←BN pair cheaper than the BN it replaced even for
+        # originally bias-free convolutions.
+        out += bias.data.reshape(e, 1, out_c, 1, 1)
         profiling.record("bias", e * n * out_c * out_h * out_w)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
@@ -523,9 +576,14 @@ class StackedConv2d(StackedModule):
         self.weight = _stacked_parameter([conv.weight for conv in convs])
         self.bias = (_stacked_parameter([conv.bias for conv in convs])
                      if convs[0].bias is not None else None)
+        # Eval-time BN fold for bias-free convs: the folded shift lives in
+        # a plain (non-parameter) tensor so ``parameters()`` / state_dict
+        # are unchanged by folding.  ``None`` whenever unfolded.
+        self._fold_bias: Tensor | None = None
 
     def forward(self, x: Tensor) -> Tensor:
-        return batched_conv2d(x, self.weight, self.bias, stride=self.stride,
+        bias = self.bias if self._fold_bias is None else self._fold_bias
+        return batched_conv2d(x, self.weight, bias, stride=self.stride,
                               padding=self.padding)
 
     def sync_from(self, convs: list[Conv2d]) -> "StackedConv2d":
@@ -605,8 +663,14 @@ class StackedBatchNorm2d(StackedModule):
         self.register_buffer("running_var", np.stack([bn.running_var for bn in bns]))
         self.record_batch_stats = False
         self.recorded_stats: tuple[Tensor, Tensor] | None = None
+        # True while this layer's affine map is folded into the preceding
+        # stacked conv (see :class:`StackedBodies`): the forward is then a
+        # pass-through.  Only ever set in eval mode; ``train()`` unfolds.
+        self._folded = False
 
     def forward(self, x: Tensor) -> Tensor:
+        if self._folded and not self.training:
+            return x
         if self.record_batch_stats:
             axes = (0, 2, 3) if x.ndim == 4 else (1, 3, 4)
             self.recorded_stats = (x.mean(axis=axes), x.var(axis=axes))
@@ -804,6 +868,80 @@ class StackedSequential(StackedModule):
 
 
 # ----------------------------------------------------------------------
+# Eval-time BN fold + padding-safety analysis
+# ----------------------------------------------------------------------
+
+
+def find_fold_pairs(module: Module) -> "list[tuple[StackedConv2d, StackedBatchNorm2d]]":
+    """Adjacent ``(StackedConv2d, StackedBatchNorm2d)`` pairs, dataflow order.
+
+    Walks the stacked tree and pairs each conv with the batch-norm layer
+    registered *immediately after it* in its parent's ``_modules`` order,
+    provided the channel counts agree.  Every composite this package (and
+    the model registry) ships declares its children in forward-dataflow
+    order, which is what makes adjacency a faithful proxy for "the BN is
+    applied straight after the conv"; a composite whose attribute order
+    diverges from its dataflow must set ``fold_adjacent = False`` on its
+    class to opt out of pairing at its own level (children still recurse).
+    """
+    pairs: list[tuple[StackedConv2d, StackedBatchNorm2d]] = []
+    children = list(module._modules.values())
+    for child in children:
+        pairs.extend(find_fold_pairs(child))
+    if not getattr(module, "fold_adjacent", True):
+        return pairs
+    for first, second in zip(children, children[1:]):
+        if (isinstance(first, StackedConv2d)
+                and isinstance(second, StackedBatchNorm2d)
+                and first.weight.shape[1] == second.num_features):
+            pairs.append((first, second))
+    return pairs
+
+
+#: stacked leaves that are pointwise in every coordinate (value may depend
+#: on the element only), hence trivially safe under spatial padding.
+_POINTWISE_LEAVES = (StackedReLU, StackedSigmoid, StackedTanh, StackedIdentity)
+
+
+def padding_safe(module: Module) -> bool:
+    """True iff zero-padding the spatial border cannot perturb the output
+    on the unpadded extent.
+
+    This is the precondition for speculative canvas batching: requests of
+    mixed spatial sizes may share one padded canvas pass — each output
+    cropped back to its own extent — only when every op in the tree is
+    *spatially pointwise*: activations, eval-mode batch norm (per-channel
+    affine), and 1x1 / stride-1 / pad-0 convolutions.  Anything with a
+    spatial receptive field (wider kernels, pooling) lets border garbage
+    contaminate the interior, so it is reported unsafe and the service
+    falls back to one exact sub-pass per coalesce key.
+
+    Composites participate by setting ``pointwise_composite = True`` on
+    their class, asserting their ``forward`` combines children with
+    pointwise arithmetic only (residual adds, activations).
+    """
+    if isinstance(module, StackedBatchNorm2d):
+        # Eval BN is a per-channel affine map; train-mode BN reduces over
+        # the spatial axes (padding would shift the batch statistics), and
+        # a stat-recording BN must observe its true input extent.
+        return not module.training and not module.record_batch_stats
+    if isinstance(module, StackedConv2d):
+        kh, kw = int(module.weight.shape[3]), int(module.weight.shape[4])
+        return (kh == 1 and kw == 1 and module.stride == 1
+                and module.padding == 0)
+    if isinstance(module, _POINTWISE_LEAVES):
+        return True
+    if module._modules and getattr(module, "pointwise_composite", False):
+        return all(padding_safe(child) for child in module._modules.values())
+    return False
+
+
+# StackedSequential composes its children in sequence with no spatial
+# arithmetic of its own, so it is padding-safe iff its children are.
+StackedSequential.pointwise_composite = True
+
+
+# ----------------------------------------------------------------------
 # StackedBodies — the server's fused N-body pass
 # ----------------------------------------------------------------------
 
@@ -817,9 +955,37 @@ class StackedBodies(StackedModule):
     parameters are a *copy* of the source bodies' — call :meth:`sync_from`
     after mutating the bodies (or :meth:`unstack_to` after fine-tuning the
     stacked copy) to keep the two representations interchangeable.
+
+    Eval-time BN fold
+    -----------------
+    With ``fold_bn=True`` (the default), switching to eval mode folds
+    every adjacent conv→batch-norm pair (:func:`find_fold_pairs`) into
+    the conv's own weights and bias::
+
+        scale = gamma / sqrt(running_var + eps)        # (E, C)
+        W'    = W * scale                              # per out-channel
+        b'    = beta - running_mean * scale + b * scale
+
+    after which the batch-norm forward is a pass-through — the eval hot
+    path drops two full-tensor touches (and two allocations) per BN
+    layer.  The fold is a pure ``.data`` swap: the original weight/bias
+    arrays are stashed by object identity, ``train()`` restores them
+    bit-exactly (optimizer steps always run on the unfolded tree), and
+    ``sync_from`` / ``unstack_to`` / ``state_dict`` / ``load_state_dict``
+    transparently unfold around their work so the folded representation
+    never leaks out of the engine.  Pairs whose BN is recording batch
+    statistics at fold time are left unfolded (the recorder must observe
+    its true input).  The fold also yields to autograd: a forward with
+    gradients enabled transparently unfolds first (BN parameters must
+    participate in the graph) and the next ``no_grad`` forward re-folds.
+    Folded outputs match unfolded outputs to float32 rounding (≪ 1e-5);
+    the differential parity suite pins this down.
     """
 
-    def __init__(self, bodies: list[Module]):
+    #: forward only composes the stacked tree (padding safety delegates).
+    pointwise_composite = True
+
+    def __init__(self, bodies: list[Module], fold_bn: bool = True):
         super().__init__()
         bodies = list(bodies)
         if not bodies:
@@ -831,18 +997,23 @@ class StackedBodies(StackedModule):
         # only fully stateless trees pass the shared input through unchanged.
         self._parametric = (len(self.stacked.parameters()) > 0
                             or next(self.stacked.named_buffers(), None) is not None)
+        self.fold_bn = fold_bn
+        self._fold_pairs = find_fold_pairs(self.stacked) if fold_bn else []
+        self._fold_state: list[dict] = []
+        self._folded = False
 
     @classmethod
-    def try_build(cls, bodies: list[Module], eval_mode: bool | None = None
-                  ) -> "StackedBodies | None":
+    def try_build(cls, bodies: list[Module], eval_mode: bool | None = None,
+                  fold_bn: bool = True) -> "StackedBodies | None":
         """Build a stacked engine, or ``None`` when the bodies can't be fused.
 
         The standard construct-or-fall-back used everywhere a batched backend
         is optional.  ``eval_mode`` forces train/eval on the result; ``None``
-        inherits the first body's mode.
+        inherits the first body's mode.  ``fold_bn`` controls the eval-time
+        conv←BN fold (on by default; see the class docstring).
         """
         try:
-            stacked = cls(bodies)
+            stacked = cls(bodies, fold_bn=fold_bn)
         except UnstackableError:
             return None
         mode = bodies[0].training if eval_mode is None else not eval_mode
@@ -853,7 +1024,85 @@ class StackedBodies(StackedModule):
     def num_bodies(self) -> int:
         return self.num_stacked
 
+    @property
+    def folded(self) -> bool:
+        """True while conv←BN pairs are folded (eval mode, ``fold_bn``)."""
+        return self._folded
+
+    def padding_safe(self) -> bool:
+        """Whether the compiled tree admits speculative canvas batching."""
+        return padding_safe(self.stacked)
+
+    # -- fold state machine ---------------------------------------------
+
+    def train(self, mode: bool = True) -> "StackedBodies":
+        if mode:
+            self._unfold()
+        super().train(mode)
+        if not mode and self.fold_bn:
+            self._fold()
+        return self
+
+    def _fold(self) -> None:
+        if self._folded:
+            return
+        for conv, bn in self._fold_pairs:
+            if bn.record_batch_stats:
+                continue  # the recorder must observe its true input
+            scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)  # (E, C)
+            shift = bn.beta.data - bn.running_mean * scale
+            self._fold_state.append({
+                "conv": conv, "bn": bn, "weight": conv.weight.data,
+                "bias": None if conv.bias is None else conv.bias.data,
+            })
+            conv.weight.data = conv.weight.data * scale[:, :, None, None, None]
+            if conv.bias is not None:
+                conv.bias.data = shift + conv.bias.data * scale
+            else:
+                conv._fold_bias = Tensor(shift)
+            bn._folded = True
+        self._folded = True
+
+    def _unfold(self) -> None:
+        if not self._folded:
+            return
+        for state in self._fold_state:
+            conv, bn = state["conv"], state["bn"]
+            conv.weight.data = state["weight"]  # original array objects:
+            if state["bias"] is not None:       # bit-exact restoration
+                conv.bias.data = state["bias"]
+            conv._fold_bias = None
+            bn._folded = False
+        self._fold_state = []
+        self._folded = False
+
+    def _unfolded_call(self, fn):
+        """Run ``fn`` on the unfolded tree, re-folding afterwards.
+
+        Weight traffic (sync, unstack, checkpoints) must always see the
+        true parameters; the re-fold recomputes from whatever ``fn``
+        wrote, so a sync while serving folded stays correct.
+        """
+        refold = self._folded
+        self._unfold()
+        try:
+            return fn()
+        finally:
+            if refold and not self.training and self.fold_bn:
+                self._fold()
+
+    # -- forward / weight traffic ---------------------------------------
+
     def forward(self, features: Tensor) -> Tensor:
+        if self.fold_bn and not self.training:
+            # The fold only holds while gradients are off: a grad-recording
+            # eval pass (attack replays, fine-tuning probes) must see the
+            # true conv/BN parameters so their gradients flow.  Both calls
+            # are no-ops when the state already matches.
+            if is_grad_enabled():
+                self._unfold()
+            else:
+                self._fold()
         out = self.stacked(features)
         if not self._parametric:
             # Degenerate all-stateless ensemble: the shared input passed
@@ -866,10 +1115,17 @@ class StackedBodies(StackedModule):
 
     def sync_from(self, bodies: list[Module]) -> "StackedBodies":
         bodies = self._check_arity(bodies)
-        self.stacked.sync_from(bodies)
+        self._unfolded_call(lambda: self.stacked.sync_from(bodies))
         return self
 
     def unstack_to(self, bodies: list[Module]) -> "StackedBodies":
         bodies = self._check_arity(bodies)
-        self.stacked.unstack_to(bodies)
+        self._unfolded_call(lambda: self.stacked.unstack_to(bodies))
         return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._unfolded_call(lambda: super(StackedBodies, self).state_dict())
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._unfolded_call(
+            lambda: super(StackedBodies, self).load_state_dict(state))

@@ -18,8 +18,15 @@ from repro.nn.tensor import Tensor, concat  # noqa: F401  (concat re-exported)
 # ----------------------------------------------------------------------
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """Lower padded NCHW input to column form ``(N, C*kh*kw, out_h*out_w)``."""
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            out: np.ndarray | None = None) -> np.ndarray:
+    """Lower padded NCHW input to column form ``(N, C*kh*kw, out_h*out_w)``.
+
+    ``out``, when given, receives the columns — an arena-recycled
+    ``(N, C*kh*kw, L)`` buffer on the serving fast path — instead of the
+    fresh array the strided-view reshape would otherwise materialise.
+    Every element of ``out`` is overwritten.
+    """
     n, c, h, w = x.shape
     out_h = (h - kh) // stride + 1
     out_w = (w - kw) // stride + 1
@@ -30,6 +37,12 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
         strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
         writeable=False,
     )
+    if out is not None:
+        # The (contiguous) column buffer viewed 6-D is assignment-
+        # compatible with the strided windows: one fused copy, no
+        # intermediate allocation.
+        np.copyto(out.reshape(n, c, kh, kw, out_h, out_w), windows)
+        return out
     return windows.reshape(n, c * kh * kw, out_h * out_w)
 
 

@@ -328,15 +328,29 @@ def _pack(kind: int, session_id: int, request_id: int, flags: int,
     return b"".join(chunks)
 
 
-def _unpack(data: bytes, expected_kind: int
+def _unpack(data: bytes, expected_kind: int, zero_copy: bool = False
             ) -> "tuple[int, int, int, Codec, list[np.ndarray], list[tuple[float, float] | None]]":
     """Parse frames.
 
     Returns ``(session_id, request_id, flags, codec, arrays, quant)``
     where ``quant`` holds each frame's ``(scale, offset)`` pair (int8
     frames) or ``None``.
+
+    With ``zero_copy=True`` and an *immutable* ``bytes`` input, the
+    returned arrays are read-only :func:`numpy.frombuffer` views straight
+    into ``data`` — no payload copy happens at decode time (the serving
+    fast path copies exactly once, from these views into its staging
+    buffer).  Mutable buffers (``bytearray``, writable ``memoryview``)
+    always get defensive copies regardless of the flag: a view into a
+    buffer the sender may recycle would let post-decode mutations alias
+    into served features.
     """
     offset = 0
+    # One memoryview over the whole message: slicing it is O(1), unlike
+    # slicing ``bytes`` which would copy each payload before the parse
+    # even decides whether a copy is needed.
+    view = memoryview(data)
+    share = zero_copy and isinstance(data, bytes)
     header: tuple[int, int, int, int] | None = None
     count = None
     arrays: list[np.ndarray] = []
@@ -348,7 +362,7 @@ def _unpack(data: bytes, expected_kind: int
          array_count, dtype_code, ndim, codec_code, *shape6) = _FRAME.unpack_from(
             data, offset)
         (stored_crc,) = _CRC.unpack_from(data, offset + _FRAME.size)
-        header_bytes = data[offset:offset + _FRAME.size]
+        header_bytes = view[offset:offset + _FRAME.size]
         offset += HEADER_BYTES
         if magic != _MAGIC:
             raise ProtocolError(f"bad magic {magic!r}")
@@ -388,11 +402,16 @@ def _unpack(data: bytes, expected_kind: int
         nbytes = count_elems * dtype.itemsize
         if len(data) - offset < nbytes:
             raise ProtocolError("truncated array payload")
-        payload = data[offset:offset + nbytes]
+        payload = view[offset:offset + nbytes]
         if zlib.crc32(payload, zlib.crc32(header_bytes)) != stored_crc:
             raise ProtocolError("frame checksum mismatch")
+        # frombuffer over a memoryview of ``bytes`` yields a *read-only*
+        # array, so the shared fast path cannot scribble on the wire
+        # buffer even by accident — the aliasing fuzz tests assert this.
         arr = np.frombuffer(payload, dtype=dtype,
-                            count=count_elems).reshape(shape).copy()
+                            count=count_elems).reshape(shape)
+        if not share:
+            arr = arr.copy()
         arrays.append(arr)
         offset += nbytes
     if header is None:
@@ -449,10 +468,15 @@ class UploadRequest:
                      [self.features])
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "UploadRequest":
-        """Parse one framed upload; inverse of :meth:`to_bytes`."""
+    def from_bytes(cls, data: bytes, zero_copy: bool = False) -> "UploadRequest":
+        """Parse one framed upload; inverse of :meth:`to_bytes`.
+
+        ``zero_copy=True`` returns ``features`` as a read-only view into
+        ``data`` when ``data`` is immutable ``bytes`` (see
+        :func:`_unpack`); mutable buffers are still copied defensively.
+        """
         session_id, request_id, flags, _codec, arrays, _quant = _unpack(
-            data, _KIND_UPLOAD)
+            data, _KIND_UPLOAD, zero_copy=zero_copy)
         if len(arrays) != 1:
             raise ProtocolError(f"upload carries one tensor, got {len(arrays)}")
         return cls(session_id, request_id, arrays[0],
@@ -536,10 +560,14 @@ class FeatureResponse:
                      list(self.outputs), codec=self.codec, quant=self.quant)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "FeatureResponse":
-        """Parse framed response bytes; inverse of :meth:`to_bytes`."""
+    def from_bytes(cls, data: bytes, zero_copy: bool = False) -> "FeatureResponse":
+        """Parse framed response bytes; inverse of :meth:`to_bytes`.
+
+        ``zero_copy=True`` returns read-only views into immutable
+        ``bytes`` input (see :func:`_unpack`).
+        """
         session_id, request_id, flags, codec, arrays, quant = _unpack(
-            data, _KIND_RESPONSE)
+            data, _KIND_RESPONSE, zero_copy=zero_copy)
         return cls(session_id, request_id, arrays, codec,
                    quant if any(q is not None for q in quant) else None,
                    degraded=bool(flags & _FLAG_DEGRADED))

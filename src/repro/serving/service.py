@@ -77,6 +77,7 @@ import numpy as np
 
 from repro.ci.channel import Channel, TransferStats
 from repro.ci.pipeline import Client, Server
+from repro.nn.arena import TensorArena, use_arena
 from repro.serving.errors import (
     BackpressureError,
     PrivacyExhaustedError,
@@ -230,6 +231,19 @@ class ServingConfig:
     payload and SLO slack.  ``rate_limit`` is the *default* per-session
     token bucket applied to tenants that do not negotiate their own
     (``None`` = unlimited).
+
+    ``fast_path`` enables the eval-time serving optimisations: the
+    service owns a :class:`~repro.nn.arena.TensorArena` whose buffers
+    (im2col columns, pad canvases, the uplink staging buffer) persist
+    across ticks, group batches are staged into that arena instead of
+    ``np.concatenate``-ing fresh memory, and :meth:`InferenceService.\
+submit_bytes` decodes wire frames zero-copy.  Served bytes are
+    bit-identical with the flag off — the differential wire-equivalence
+    suite pins this.  ``speculative`` additionally lets the scheduler
+    form mixed-spatial groups (see
+    :meth:`~repro.serving.scheduler.Scheduler.next_group_speculative`)
+    which the service reconciles in one tick by canvas padding
+    (padding-safe engines) or per-key sub-passes.
     """
 
     max_batch: int = 8   # group-size cap (ignored by the deadline policy)
@@ -239,6 +253,8 @@ class ServingConfig:
     rate_limit: RateLimit | None = None  # default per-session token bucket
     shed_expired: bool = False  # shed explicit-deadline requests pre-schedule
     tick_retries: int = 1  # crashed-pass re-queues before a request FAILs
+    fast_path: bool = True   # arena buffer reuse + zero-copy decode
+    speculative: bool = False  # mixed-spatial group formation
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -295,6 +311,7 @@ class ServiceStats:
     privacy_refusals: int = 0    # submits/serves refused past exhaustion
     privacy_exhausted_sessions: int = 0  # sessions closed by a spent budget
     selector_rotations: int = 0  # switching-ensemble subset re-draws
+    speculative_merges: int = 0  # mixed-spatial groups served in one tick
 
     @property
     def mean_coalesced(self) -> float:
@@ -355,7 +372,9 @@ class InferenceService:
                  faults: FaultInjector | None = None,
                  overload: "OverloadController | OverloadPolicy | None" = None,
                  shed_expired: bool = False,
-                 tick_retries: int = 1):
+                 tick_retries: int = 1,
+                 fast_path: bool = True,
+                 speculative: bool = False):
         if not isinstance(server, Server):
             server = Server(list(server))
         self.scheduler = make_scheduler(scheduler)
@@ -364,8 +383,13 @@ class InferenceService:
                                     codec=Codec.parse(codec).name.lower(),
                                     rate_limit=RateLimit.parse(rate_limit),
                                     shed_expired=shed_expired,
-                                    tick_retries=tick_retries)
+                                    tick_retries=tick_retries,
+                                    fast_path=fast_path,
+                                    speculative=speculative)
         self.server = server
+        #: the per-service scratch arena (``None`` with the fast path
+        #: off): im2col / pad / staging buffers persist across ticks.
+        self.arena = TensorArena() if fast_path else None
         self.faults = faults
         self.overload = (OverloadController(overload)
                          if isinstance(overload, OverloadPolicy) else overload)
@@ -394,7 +418,9 @@ class InferenceService:
                    codec=config.codec, rate_limit=config.rate_limit,
                    faults=faults, overload=overload,
                    shed_expired=config.shed_expired,
-                   tick_retries=config.tick_retries)
+                   tick_retries=config.tick_retries,
+                   fast_path=config.fast_path,
+                   speculative=config.speculative)
 
     # -- session management ---------------------------------------------
 
@@ -657,6 +683,24 @@ class InferenceService:
         session._resolve(request.request_id, RequestState.QUEUED)
         return request.request_id
 
+    def submit_bytes(self, data: bytes) -> int:
+        """Admit one framed upload straight from its wire bytes.
+
+        The network-facing twin of :meth:`submit`: parses the CRC32-framed
+        :class:`~repro.serving.protocol.UploadRequest` and enqueues it.
+        With the fast path on, the parse is **zero-copy** — the request's
+        ``features`` are a read-only :func:`numpy.frombuffer` view into
+        ``data``, and the only payload copy on the whole serve path is
+        the tick's staging copy into the arena batch buffer.  Mutable
+        buffers (``bytearray`` / ``memoryview``) are defensively copied
+        at decode regardless, so a sender recycling its frame buffer can
+        never alias into served features.  Admission control, accounting
+        and the typed error surface are exactly :meth:`submit`'s.
+        """
+        request = UploadRequest.from_bytes(
+            data, zero_copy=self.config.fast_path)
+        return self.submit(request)
+
     def tick(self) -> list[FeatureResponse]:
         """One deterministic scheduler step: serve the next coalesced group.
 
@@ -694,7 +738,12 @@ class InferenceService:
                 self.scheduler.pending, self.config.max_queue)
             self.stats.overload_escalations = self.overload.escalations
             self.stats.overload_recoveries = self.overload.recoveries
-        group = self.scheduler.next_group(self.config.max_batch, now=self.now)
+        if self.config.speculative:
+            group = self.scheduler.next_group_speculative(
+                self.config.max_batch, now=self.now)
+        else:
+            group = self.scheduler.next_group(self.config.max_batch,
+                                              now=self.now)
         if not group:
             return []
         tick_index = self._tick_attempts
@@ -709,37 +758,31 @@ class InferenceService:
                 self.server.observed_features.append(
                     np.array(request.features, copy=True))
 
-        if len(group) == 1:
-            batch = group[0].features
-        else:
-            batch = np.concatenate([r.features for r in group], axis=0)
-
         total = self.num_nets
         num_bodies = (self.overload.num_bodies(total)
                       if self.overload is not None else total)
-        outputs = None
+        per_request = None
         if self.faults is None or not self.faults.tick_fails(tick_index):
             try:
-                outputs = self.server.compute(batch, num_bodies=num_bodies)
+                per_request = self._compute_group(group, num_bodies)
             except Exception:
-                outputs = None  # a real mid-pass crash: same recovery path
-        if outputs is None:
+                per_request = None  # a real mid-pass crash: same recovery path
+        if per_request is None:
             return self._fail_tick(group)
+        if len({r.coalesce_key for r in group}) > 1:
+            self.stats.speculative_merges += 1
         degraded_pass = num_bodies < total
         if degraded_pass:
             # The client's selector needs all N positions: alias the maps
             # outside the served subset cyclically onto the k computed
             # ones, flagged degraded on the wire.
-            outputs = [outputs[i % num_bodies] for i in range(total)]
+            per_request = [[outs[i % num_bodies] for i in range(total)]
+                           for outs in per_request]
 
         responses = []
-        offset = 0
         served_samples = 0
-        for request in group:
+        for request, outs in zip(group, per_request):
             n = request.batch_size
-            outs = [np.ascontiguousarray(out[offset:offset + n])
-                    for out in outputs]
-            offset += n
             self._queued_ids.discard((request.session_id, request.request_id))
             session = self._sessions.get(request.session_id)
             if (session is not None and session.privacy is not None
@@ -784,6 +827,131 @@ class InferenceService:
         self.stats.served_samples += served_samples
         self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(group))
         return responses
+
+    # -- fused-pass fast path -------------------------------------------
+
+    def _server_pass(self, batch: np.ndarray,
+                     num_bodies: int) -> list[np.ndarray]:
+        """One stacked forward with this service's arena active.
+
+        The arena only lends *scratch* (im2col columns, pad canvases —
+        see :mod:`repro.nn.arena`); the returned feature maps are always
+        fresh memory, so responses may outlive any number of later ticks.
+        """
+        with use_arena(self.arena):
+            return self.server.compute(batch, num_bodies=num_bodies)
+
+    def _stage_batch(self, group: list[UploadRequest]) -> np.ndarray:
+        """Assemble one shape-homogeneous group into a batch array.
+
+        With the fast path on, rides the arena's persistent staging
+        buffer (every element overwritten — the poisoning tests check
+        this) instead of allocating a fresh ``np.concatenate`` each tick;
+        it is also the single copy zero-copy-decoded payloads ever pay.
+        """
+        feats = [r.features for r in group]
+        if len(feats) == 1:
+            return feats[0]
+        if self.arena is None:
+            return np.concatenate(feats, axis=0)
+        total = sum(f.shape[0] for f in feats)
+        staged = self.arena.take_named(
+            "uplink_staging", (total,) + feats[0].shape[1:], feats[0].dtype)
+        offset = 0
+        for feat in feats:
+            staged[offset:offset + feat.shape[0]] = feat
+            offset += feat.shape[0]
+        return staged
+
+    @staticmethod
+    def _split_outputs(outputs: list[np.ndarray],
+                       group: list[UploadRequest]) -> list[list[np.ndarray]]:
+        """Slice batch-wide body outputs back into per-request lists."""
+        per_request = []
+        offset = 0
+        for request in group:
+            n = request.batch_size
+            per_request.append([np.ascontiguousarray(out[offset:offset + n])
+                                for out in outputs])
+            offset += n
+        return per_request
+
+    def _compute_group(self, group: list[UploadRequest],
+                       num_bodies: int) -> list[list[np.ndarray]]:
+        """Serve one (possibly mixed-spatial) group; per-request outputs.
+
+        Shape-homogeneous groups run the classic single stacked pass.  A
+        speculative mixed group is reconciled inside this one tick:
+        zero-padded onto a common canvas and cropped back when the
+        engine is provably padding-safe (spatially-pointwise tree),
+        otherwise as one exact sub-pass per coalesce key.  Either way a
+        crash anywhere fails the *whole* group through the caller's
+        ``_fail_tick`` recovery.
+        """
+        if len({r.coalesce_key for r in group}) == 1:
+            outputs = self._server_pass(self._stage_batch(group), num_bodies)
+            return self._split_outputs(outputs, group)
+        if (self.server.padding_safe
+                and all(r.features.ndim == 4 for r in group)):
+            return self._canvas_pass(group, num_bodies)
+        return self._keyed_subpasses(group, num_bodies)
+
+    def _canvas_pass(self, group: list[UploadRequest],
+                     num_bodies: int) -> list[list[np.ndarray]]:
+        """Mixed spatial sizes on one zero-padded canvas, cropped back.
+
+        Exact only for padding-safe engines: each request sits in the
+        top-left corner of a ``(max_h, max_w)`` canvas whose margins are
+        zero, and each output map is cropped back to the request's own
+        spatial size — a spatially-pointwise tree never mixes margin
+        into the cropped region.
+        """
+        feats = [r.features for r in group]
+        channels = feats[0].shape[1]
+        height = max(f.shape[2] for f in feats)
+        width = max(f.shape[3] for f in feats)
+        total = sum(f.shape[0] for f in feats)
+        shape = (total, channels, height, width)
+        if self.arena is not None:
+            canvas = self.arena.take_named("uplink_canvas", shape,
+                                           feats[0].dtype)
+            canvas.fill(0)  # margins must be zeros, not last tick's bytes
+        else:
+            canvas = np.zeros(shape, dtype=feats[0].dtype)
+        offset = 0
+        for feat in feats:
+            n, _, h, w = feat.shape
+            canvas[offset:offset + n, :, :h, :w] = feat
+            offset += n
+        outputs = self._server_pass(canvas, num_bodies)
+        per_request = []
+        offset = 0
+        for request in group:
+            n, _, h, w = request.features.shape
+            outs = []
+            for out in outputs:
+                sliced = out[offset:offset + n]
+                if sliced.ndim == 4 and sliced.shape[2:] == (height, width):
+                    sliced = sliced[:, :, :h, :w]
+                outs.append(np.ascontiguousarray(sliced))
+            per_request.append(outs)
+            offset += n
+        return per_request
+
+    def _keyed_subpasses(self, group: list[UploadRequest],
+                         num_bodies: int) -> list[list[np.ndarray]]:
+        """Mixed group on a padding-unsafe engine: one exact stacked pass
+        per coalesce key, results re-interleaved into group order."""
+        buckets: dict[tuple, list[int]] = {}
+        for index, request in enumerate(group):
+            buckets.setdefault(request.coalesce_key, []).append(index)
+        per_request: list[list[np.ndarray] | None] = [None] * len(group)
+        for indices in buckets.values():
+            sub = [group[i] for i in indices]
+            outputs = self._server_pass(self._stage_batch(sub), num_bodies)
+            for outs, i in zip(self._split_outputs(outputs, sub), indices):
+                per_request[i] = outs
+        return per_request
 
     def _fail_tick(self, group: list[UploadRequest]) -> list[FeatureResponse]:
         """Recover a crashed stacked pass: re-queue or fail its riders."""

@@ -1,0 +1,281 @@
+"""Differential parity suite for the eval-time conv←BN fold.
+
+The fold (:class:`repro.nn.batched.StackedBodies` with ``fold_bn=True``)
+rewrites every adjacent conv→batch-norm pair into the conv's own weights
+on ``eval()`` and must be *invisible* everywhere else:
+
+* **numerics** — folded eval outputs match the unfolded engine and the
+  looped per-body reference to ≤ 1e-5 across a seeded sweep of kernel
+  sizes, strides, paddings, channel counts and ensemble sizes N;
+* **state** — ``train()`` restores the original parameter arrays *by
+  object identity* (bit-exact, not merely close), across repeated
+  train/eval cycles with real optimizer steps in between;
+* **train mode** — a ``fold_bn=True`` engine in train mode is
+  bit-identical to a ``fold_bn=False`` engine (the fold never engages);
+* **autograd** — a grad-recording eval forward transparently unfolds so
+  BN gradients flow, and the next ``no_grad`` forward re-folds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ci.pipeline import Server
+from repro.nn.batched import StackedBodies, find_fold_pairs
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import new_rng
+
+
+def make_conv_bn_bodies(num_nets: int, in_channels: int, out_channels: int,
+                        kernel_size: int, stride: int, padding: int,
+                        bias: bool, spatial: int, seed: int,
+                        depth: int = 2) -> list[nn.Module]:
+    """N conv→BN→ReLU stacks with warmed-up (non-trivial) BN statistics."""
+    bodies = []
+    for i in range(num_nets):
+        rng = new_rng(seed * 97 + i)
+        layers = []
+        channels = in_channels
+        for _ in range(depth):
+            layers += [
+                nn.Conv2d(channels, out_channels, kernel_size, stride=stride,
+                          padding=padding, bias=bias, rng=rng),
+                nn.BatchNorm2d(out_channels),
+                nn.ReLU(),
+            ]
+            channels = out_channels
+        body = nn.Sequential(*layers)
+        # One train-mode batch moves running_mean/var off their init values
+        # so the fold actually has statistics to absorb.
+        body.train()
+        with no_grad():
+            body(Tensor(rng.standard_normal(
+                (4, in_channels, spatial, spatial)).astype(np.float32)))
+        body.eval()
+        bodies.append(body)
+    return bodies
+
+
+def sweep_case(seed: int) -> dict:
+    """One seeded draw over the fold's whole configuration space."""
+    rng = np.random.default_rng(seed)
+    kernel_size = int(rng.choice([1, 3, 5]))
+    stride = int(rng.choice([1, 2]))
+    padding = int(rng.choice([0, 1, 2]))
+    # Smallest drawn spatial size that survives both strided conv layers.
+    def out_size(size: int) -> int:
+        for _ in range(2):
+            size = (size + 2 * padding - kernel_size) // stride + 1
+        return size
+
+    spatial = next(s for s in [int(rng.choice([6, 8, 11])), 11, 16, 24]
+                   if out_size(s) >= 1)
+    return {
+        "num_nets": int(rng.choice([2, 3, 5, 8])),
+        "in_channels": int(rng.integers(1, 6)),
+        "out_channels": int(rng.integers(1, 9)),
+        "kernel_size": kernel_size,
+        "stride": stride,
+        "padding": padding,
+        "bias": bool(rng.integers(0, 2)),
+        "spatial": spatial,
+        "seed": seed,
+    }
+
+
+class TestFoldedEvalParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seeded_sweep_folded_matches_unfolded_and_looped(self, seed):
+        """Folded eval ≡ unfolded engine ≡ looped bodies, ≤ 1e-5."""
+        case = sweep_case(seed)
+        bodies = make_conv_bn_bodies(**case)
+        rng = np.random.default_rng(1000 + seed)
+        x = Tensor(rng.standard_normal(
+            (3, case["in_channels"], case["spatial"], case["spatial"])
+        ).astype(np.float32))
+        folded = StackedBodies.try_build(bodies, fold_bn=True)
+        unfolded = StackedBodies.try_build(bodies, fold_bn=False)
+        assert folded is not None and unfolded is not None
+        assert folded.folded and not unfolded.folded
+        with no_grad():
+            out_folded = folded(x).data
+            out_unfolded = unfolded(x).data
+            out_looped = np.stack([body(x).data for body in bodies])
+        np.testing.assert_allclose(out_folded, out_unfolded, atol=1e-5,
+                                   rtol=0)
+        np.testing.assert_allclose(out_folded, out_looped, atol=1e-5, rtol=0)
+
+    @pytest.mark.parametrize("backend", ["batched", "looped"])
+    def test_server_backends_agree_with_fold(self, backend):
+        """Both Server backends serve fold-compatible outputs ≤ 1e-5."""
+        bodies = make_conv_bn_bodies(num_nets=3, in_channels=3,
+                                     out_channels=8, kernel_size=3, stride=1,
+                                     padding=1, bias=True, spatial=8, seed=5)
+        features = np.random.default_rng(6).standard_normal(
+            (2, 3, 8, 8)).astype(np.float32)
+        server = Server(bodies, backend=backend, fold_bn=True)
+        reference = Server(bodies, backend="looped", fold_bn=False)
+        for out, ref in zip(server.compute(features),
+                            reference.compute(features)):
+            np.testing.assert_allclose(out, ref, atol=1e-5, rtol=0)
+
+    def test_resnet_bodies_fold_parity(self):
+        """The fold holds on real residual topologies, not just chains."""
+        from repro.models.resnet import resnet8
+
+        bodies = []
+        for i in range(3):
+            body = resnet8(width=8, rng=new_rng(40 + i))
+            body.train()
+            with no_grad():
+                body(Tensor(np.random.default_rng(50 + i).standard_normal(
+                    (2, 3, 8, 8)).astype(np.float32)))
+            body.eval()
+            bodies.append(body)
+        folded = StackedBodies.try_build(bodies, fold_bn=True)
+        unfolded = StackedBodies.try_build(bodies, fold_bn=False)
+        assert folded is not None and folded.folded
+        assert len(folded._fold_pairs) > 0
+        x = Tensor(np.random.default_rng(60).standard_normal(
+            (2, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(folded(x).data, unfolded(x).data,
+                                       atol=1e-5, rtol=0)
+
+    def test_train_mode_numerics_untouched(self):
+        """fold_bn=True in train mode is bit-identical to fold_bn=False."""
+        bodies = make_conv_bn_bodies(num_nets=3, in_channels=2,
+                                     out_channels=4, kernel_size=3, stride=1,
+                                     padding=1, bias=False, spatial=6, seed=9)
+        with_fold = StackedBodies.try_build(bodies, eval_mode=False,
+                                            fold_bn=True)
+        without = StackedBodies.try_build(bodies, eval_mode=False,
+                                          fold_bn=False)
+        assert not with_fold.folded
+        x = Tensor(np.random.default_rng(10).standard_normal(
+            (4, 2, 6, 6)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_array_equal(with_fold(x).data, without(x).data)
+        # Train-mode forwards moved BOTH engines' running stats identically.
+        for a, b in zip(with_fold.state_dict().values(),
+                        without.state_dict().values()):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFoldRoundTrip:
+    def _engine_and_originals(self, seed=21):
+        bodies = make_conv_bn_bodies(num_nets=3, in_channels=2,
+                                     out_channels=5, kernel_size=3, stride=1,
+                                     padding=1, bias=True, spatial=6,
+                                     seed=seed)
+        # Built in train mode: the parameters are the true (unfolded) ones.
+        engine = StackedBodies.try_build(bodies, eval_mode=False,
+                                         fold_bn=True)
+        originals = [p.data for p in engine.parameters()]
+        return engine, originals
+
+    def test_fold_unfold_round_trip_is_bit_exact(self):
+        """eval/train cycles restore the original arrays by identity."""
+        engine, originals = self._engine_and_originals()
+        copies = [arr.copy() for arr in originals]
+        for _ in range(3):
+            engine.eval()
+            assert engine.folded
+            engine.train()
+            assert not engine.folded
+        for param, original, copy in zip(engine.parameters(), originals,
+                                         copies):
+            assert param.data is original  # same object, not a clone
+            np.testing.assert_array_equal(param.data, copy)
+
+    def test_round_trip_with_optimizer_steps_between(self):
+        """Steps on the unfolded tree survive fold cycles bit-exactly."""
+        engine, _ = self._engine_and_originals()
+        opt = nn.StackedSGD(engine.parameters(),
+                            num_stacked=engine.num_stacked, lr=0.05)
+        x = Tensor(np.random.default_rng(11).standard_normal(
+            (4, 2, 6, 6)).astype(np.float32))
+        for _ in range(3):
+            engine.train()
+            opt.zero_grad()
+            engine(x).sum().backward()
+            opt.step()
+            stepped = [p.data for p in engine.parameters()]
+            snapshot = [arr.copy() for arr in stepped]
+            engine.eval()  # fold over the freshly-stepped weights
+            assert engine.folded
+            with no_grad():
+                engine(x)
+            engine.train()
+            for param, arr, copy in zip(engine.parameters(), stepped,
+                                        snapshot):
+                assert param.data is arr
+                np.testing.assert_array_equal(param.data, copy)
+
+    def test_state_dict_identical_folded_and_unfolded(self):
+        """Checkpoints never leak the folded representation."""
+        engine, _ = self._engine_and_originals()
+        unfolded_state = engine.state_dict()
+        engine.eval()
+        assert engine.folded
+        folded_state = engine.state_dict()
+        assert engine.folded  # state_dict re-folds behind itself
+        assert unfolded_state.keys() == folded_state.keys()
+        for key in unfolded_state:
+            np.testing.assert_array_equal(unfolded_state[key],
+                                          folded_state[key])
+
+    def test_sync_from_while_folded_serves_new_weights(self):
+        bodies = make_conv_bn_bodies(num_nets=2, in_channels=2,
+                                     out_channels=3, kernel_size=1, stride=1,
+                                     padding=0, bias=True, spatial=5, seed=33)
+        engine = StackedBodies.try_build(bodies, fold_bn=True)
+        assert engine.folded
+        with no_grad():
+            for body in bodies:
+                for param in body.parameters():
+                    param.data = param.data + 0.25
+            engine.sync_from(bodies)
+            assert engine.folded  # re-folded over the synced weights
+            x = Tensor(np.random.default_rng(12).standard_normal(
+                (2, 2, 5, 5)).astype(np.float32))
+            out = engine(x).data
+            looped = np.stack([body(x).data for body in bodies])
+        np.testing.assert_allclose(out, looped, atol=1e-5, rtol=0)
+
+
+class TestFoldAutogradInterplay:
+    def test_grad_enabled_eval_forward_unfolds(self):
+        """BN parameters must re-enter the graph when gradients are on."""
+        bodies = make_conv_bn_bodies(num_nets=2, in_channels=2,
+                                     out_channels=4, kernel_size=3, stride=1,
+                                     padding=1, bias=False, spatial=6,
+                                     seed=44)
+        engine = StackedBodies.try_build(bodies, fold_bn=True)
+        assert engine.folded
+        x = Tensor(np.random.default_rng(13).standard_normal(
+            (2, 2, 6, 6)).astype(np.float32))
+        engine(x).sum().backward()  # grad-recording eval forward
+        assert not engine.folded
+        for _, bn in find_fold_pairs(engine.stacked):
+            assert bn.gamma.grad is not None
+            assert bn.beta.grad is not None
+        with no_grad():
+            engine(x)  # the next no_grad forward re-folds lazily
+        assert engine.folded
+
+    def test_recording_bn_pairs_stay_unfolded(self):
+        """A stat-recording BN must observe its true input, fold or not."""
+        bodies = make_conv_bn_bodies(num_nets=2, in_channels=2,
+                                     out_channels=3, kernel_size=3, stride=1,
+                                     padding=1, bias=True, spatial=6, seed=55)
+        engine = StackedBodies.try_build(bodies, eval_mode=False,
+                                         fold_bn=True)
+        pairs = find_fold_pairs(engine.stacked)
+        pairs[0][1].record_batch_stats = True
+        engine.eval()
+        assert engine.folded
+        assert not pairs[0][1]._folded    # the recorder was skipped
+        assert all(bn._folded for _, bn in pairs[1:])
+        engine.train()
+        assert not any(bn._folded for _, bn in pairs)

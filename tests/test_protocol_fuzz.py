@@ -1,15 +1,23 @@
 """Fuzz tests for the CRC32-hardened wire protocol: no mangled frame may
-escape as anything but a typed ProtocolError."""
+escape as anything but a typed ProtocolError — plus the end-to-end wire
+equivalence of the serving fast path (arena + zero-copy decode), which
+must leave every served response byte-identical."""
 
 import numpy as np
 import pytest
 
+from repro import nn
+from repro.ci.channel import Channel
+from repro.ci.pipeline import Client, Server
 from repro.serving import (
     Codec,
     FeatureResponse,
+    InferenceService,
     ProtocolError,
     UploadRequest,
 )
+from repro.serving.simulate import TickCost, bursty_trace, simulate
+from repro.utils.rng import new_rng
 
 rng = np.random.default_rng(97)
 
@@ -120,3 +128,75 @@ class TestTargetedHeaders:
     def test_protocol_error_is_valueerror_compatible(self):
         with pytest.raises(ValueError):
             UploadRequest.from_bytes(b"garbage")
+
+
+class _FrameRecordingChannel(Channel):
+    """A channel that retains every downlink frame's exact wire bytes."""
+
+    def __init__(self):
+        super().__init__()
+        self.downlink_frames: dict[int, bytes] = {}
+
+    def send_down(self, payload):
+        self.downlink_frames[payload.request_id] = payload.to_bytes()
+        return super().send_down(payload)
+
+
+class TestFastPathWireEquivalence:
+    """The eval-time fast path (tensor arena, staged uplink batches,
+    zero-copy frame decode) is a pure optimisation: replaying the same
+    bursty trace with ``fast_path`` on and off must produce *identical*
+    response frame bytes for every request id, under every codec.
+
+    The conv←BN fold is held constant across both arms — it shifts
+    numerics at the float32-rounding level by design, and its own ≤1e-5
+    parity is pinned by ``tests/test_fold_parity.py``; this suite pins
+    the byte-exactness of everything else.
+    """
+
+    NUM_SESSIONS = 3
+
+    def _make_bodies(self):
+        bodies = []
+        for i in range(3):
+            rng = new_rng(500 + i)
+            bodies.append(nn.Sequential(
+                nn.Conv2d(3, 6, 3, padding=1, rng=rng), nn.BatchNorm2d(6),
+                nn.ReLU(), nn.Conv2d(6, 4, 3, padding=1, rng=rng)))
+        for body in bodies:
+            body.eval()
+        return bodies
+
+    def _replay(self, codec: Codec, fast_path: bool) -> dict:
+        """One bursty replay; returns response frame bytes by request key."""
+        service = InferenceService(Server(self._make_bodies()),
+                                   max_batch=4, fast_path=fast_path)
+        channels = [_FrameRecordingChannel()
+                    for _ in range(self.NUM_SESSIONS)]
+        sessions = [service.adopt_session(
+                        Client(nn.Identity(), nn.Identity()),
+                        channel=channel, codec=codec)
+                    for channel in channels]
+        features = np.random.default_rng(42).standard_normal(
+            (2, 3, 6, 6)).astype(np.float32)
+        trace = bursty_trace(num_sessions=self.NUM_SESSIONS, bursts=3,
+                             burst_size=5, burst_gap_s=0.5)
+        report = simulate(service, sessions, trace,
+                          TickCost(pass_overhead_s=0.01,
+                                   per_sample_s=0.001),
+                          default_features=features)
+        assert report.served == len(trace)
+        return {(session.session_id, request_id): frame
+                for session, channel in zip(sessions, channels)
+                for request_id, frame in channel.downlink_frames.items()}
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_fast_path_responses_byte_identical(self, codec):
+        fast = self._replay(codec, fast_path=True)
+        slow = self._replay(codec, fast_path=False)
+        assert fast.keys() == slow.keys()
+        assert len(fast) == 15  # every traced request answered, both arms
+        for key in fast:
+            assert fast[key] == slow[key], (
+                f"response bytes diverge for (session, request) {key} "
+                f"under codec {codec.name}")
